@@ -1,0 +1,33 @@
+# Convenience targets for the GSim+ reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test test-fast bench figures accuracy examples all-checks
+
+install:
+	$(PYTHON) -m pip install -e '.[dev]'
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-fast:
+	$(PYTHON) -m pytest tests/ -m 'not slow'
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+figures:
+	for fig in fig2 fig3 fig4 fig5 fig6 fig7 fig8; do \
+		$(PYTHON) -m repro.cli $$fig --scale small --seed 7; \
+	done
+
+accuracy:
+	$(PYTHON) -m repro.cli accuracy --scale tiny
+	$(PYTHON) -m repro.cli bound
+
+examples:
+	for script in examples/*.py; do \
+		echo "== $$script"; $(PYTHON) $$script || exit 1; \
+	done
+
+all-checks: test bench

@@ -1,0 +1,53 @@
+"""Shared fixtures for the benchmark suite.
+
+Benchmarks run the same drivers as the figures at the ``tiny`` scale with
+short deadlines; their purpose is to regenerate the paper's series (who
+wins, by what factor) quickly and repeatably, not to stress this machine.
+Pass ``--benchmark-only`` to run them; each prints the table it backs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import Deadline, ExperimentConfig, MemoryBudget
+from repro.graphs import load_dataset_pair
+from repro.workloads import make_workload
+
+# Algorithms cheap enough to benchmark per-cell at tiny scale.
+FAST_ALGORITHMS = ("GSim+", "GSVD", "GSim", "SS-BC*")
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    """Figure-driver configuration used by every benchmark."""
+    return ExperimentConfig(
+        scale="tiny",
+        iterations=10,
+        seed=7,
+        memory_budget=MemoryBudget(),
+        deadline=Deadline(limit_seconds=5.0),
+    )
+
+
+@pytest.fixture(scope="session")
+def hp_instance():
+    """The scaled HP pair plus a fixed query workload."""
+    graph_a, graph_b = load_dataset_pair("HP", scale="tiny", seed=7)
+    workload = make_workload(graph_a, graph_b, 20, 20, seed=8)
+    return graph_a, graph_b, workload.queries_a, workload.queries_b
+
+
+@pytest.fixture(scope="session")
+def ee_instance():
+    """The scaled EE pair plus a fixed query workload."""
+    graph_a, graph_b = load_dataset_pair("EE", scale="tiny", seed=7)
+    workload = make_workload(graph_a, graph_b, 20, 20, seed=8)
+    return graph_a, graph_b, workload.queries_a, workload.queries_b
+
+
+@pytest.fixture(scope="session")
+def queries(hp_instance) -> tuple[np.ndarray, np.ndarray]:
+    _, _, queries_a, queries_b = hp_instance
+    return queries_a, queries_b

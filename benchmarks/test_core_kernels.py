@@ -1,0 +1,65 @@
+"""Micro-benchmarks of the kernels Theorem 4.1's analysis is built on.
+
+Not a paper figure, but the numbers behind GSim+'s complexity claims: the
+factored iteration step, the Gram-trick Frobenius norm, and the query
+block extraction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import GSimPlus, LowRankFactors
+from repro.graphs import load_dataset_pair
+
+
+@pytest.fixture(scope="module")
+def pair():
+    return load_dataset_pair("EE", scale="tiny", seed=7)
+
+
+def test_factored_step(benchmark, pair):
+    """One U_k/V_k doubling step (lines 3-5 of Algorithm 1) at width 64."""
+    graph_a, graph_b = pair
+    solver = GSimPlus(graph_a, graph_b, rank_cap="none")
+    state = None
+    for state in solver.iterate(6):
+        pass
+    factors = state.factors
+    benchmark(solver._step_factors, factors)
+
+
+def test_gram_frobenius_norm(benchmark, pair):
+    """||U V^T||_F via the Gram trick (never materialises the product)."""
+    graph_a, graph_b = pair
+    rng = np.random.default_rng(0)
+    factors = LowRankFactors(
+        rng.standard_normal((graph_a.num_nodes, 128)),
+        rng.standard_normal((graph_b.num_nodes, 128)),
+    )
+    result = benchmark(factors.frobenius_norm)
+    assert result > 0
+
+
+def test_query_block_extraction(benchmark, pair):
+    """Line 6 of Algorithm 1: the |Q_A| x |Q_B| block from the factors."""
+    graph_a, graph_b = pair
+    rng = np.random.default_rng(0)
+    factors = LowRankFactors(
+        rng.standard_normal((graph_a.num_nodes, 128)),
+        rng.standard_normal((graph_b.num_nodes, 128)),
+    )
+    rows = np.arange(min(50, graph_a.num_nodes))
+    cols = np.arange(min(50, graph_b.num_nodes))
+    block = benchmark(factors.query_block, rows, cols)
+    assert block.shape == (rows.size, cols.size)
+
+
+def test_dense_gsim_step_for_contrast(benchmark, pair):
+    """The dense update GSim pays per iteration, for comparison."""
+    from repro.baselines.gsim import _step
+
+    graph_a, graph_b = pair
+    similarity = np.ones((graph_a.num_nodes, graph_b.num_nodes))
+    benchmark(_step, graph_a, graph_b, similarity)

@@ -1,0 +1,59 @@
+"""Benchmarks for the evolving-graph session layer.
+
+Quantifies the recompute-on-write trade-off: a cached query is a slender
+dense product (microseconds); a post-update query pays one full GSim+
+refresh (milliseconds at this scale).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dynamic import DynamicGraph, SimilaritySession
+from repro.graphs import erdos_renyi_graph, random_node_sample
+
+
+@pytest.fixture(scope="module")
+def session_parts():
+    base = erdos_renyi_graph(400, 2400, seed=1)
+    target = random_node_sample(base, 80, seed=2)
+    source = DynamicGraph(base.num_nodes)
+    source.add_edges([(s, d) for s, d, _ in base.edges()])
+    sink = DynamicGraph(target.num_nodes)
+    sink.add_edges([(s, d) for s, d, _ in target.edges()])
+    return source, sink
+
+
+def test_cached_query(benchmark, session_parts):
+    """Query latency when the factors are warm (the common case)."""
+    source, sink = session_parts
+    session = SimilaritySession(source, sink, iterations=7)
+    session.query([0], [0])  # warm the cache
+
+    block = benchmark(session.query, [1, 2, 3], [0, 1, 2])
+    assert block.shape == (3, 3)
+
+
+def test_query_after_update(benchmark, session_parts):
+    """Query latency when every query is preceded by a graph update."""
+    source, sink = session_parts
+    session = SimilaritySession(source, sink, iterations=7)
+    state = {"flip": True}
+
+    def update_then_query():
+        if state["flip"]:
+            source.add_edge(0, 5)
+        else:
+            source.remove_edge(0, 5)
+        state["flip"] = not state["flip"]
+        return session.query([1], [1])
+
+    benchmark(update_then_query)
+    assert session.stats.recomputes >= 1
+
+
+def test_refresh_cost(benchmark, session_parts):
+    """One full factor recomputation (the write-path cost)."""
+    source, sink = session_parts
+    session = SimilaritySession(source, sink, iterations=7)
+    benchmark(session.refresh)

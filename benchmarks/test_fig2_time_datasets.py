@@ -1,0 +1,50 @@
+"""Figure 2 — wall-clock time of every algorithm per dataset.
+
+Benchmarks the per-algorithm query time on each scaled dataset; one run of
+the full driver prints the paper's Figure 2 series (including the OOM /
+>1day cells for the dense and per-pair baselines).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ALGORITHMS, render_records, run_algorithm
+from repro.experiments.figures import fig2_time_by_dataset
+
+from conftest import FAST_ALGORITHMS
+
+
+@pytest.mark.parametrize("algorithm", FAST_ALGORITHMS)
+@pytest.mark.parametrize("dataset", ["hp", "ee"])
+def test_fig2_cell(benchmark, algorithm, dataset, hp_instance, ee_instance, bench_config):
+    """One Figure 2 cell: `algorithm` on the scaled `dataset`."""
+    instance = hp_instance if dataset == "hp" else ee_instance
+    graph_a, graph_b, queries_a, queries_b = instance
+    spec = ALGORITHMS[algorithm]
+
+    def cell():
+        return run_algorithm(
+            spec, graph_a, graph_b, queries_a, queries_b,
+            bench_config.iterations,
+            memory_budget=bench_config.memory_budget,
+            deadline=bench_config.deadline,
+            dataset=dataset.upper(),
+        )
+
+    record = benchmark(cell)
+    assert record.ok, record.note
+
+
+def test_fig2_full_series(benchmark, bench_config, capsys):
+    """The complete Figure 2 table across all five datasets."""
+    records = benchmark.pedantic(
+        fig2_time_by_dataset,
+        args=(bench_config,),
+        kwargs={"algorithms": FAST_ALGORITHMS},
+        rounds=1,
+        iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        print(render_records(records, metric="time", title="Figure 2 (time)"))

@@ -1,0 +1,52 @@
+"""Figure 3 — time versus iteration count k.
+
+The paper sweeps k = 2..10 and shows GSim+ growing mildly while the dense
+and per-pair baselines blow up.  Each benchmark times one (algorithm, k)
+cell on the scaled EE dataset; the series test prints the full table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ALGORITHMS, render_records, run_algorithm
+from repro.experiments.figures import fig3_time_vs_k
+
+from conftest import FAST_ALGORITHMS
+
+
+@pytest.mark.parametrize("k", [2, 6, 10])
+@pytest.mark.parametrize("algorithm", ["GSim+", "GSim"])
+def test_fig3_cell(benchmark, algorithm, k, ee_instance, bench_config):
+    """One Figure 3 cell: `algorithm` at iteration count `k` on EE."""
+    graph_a, graph_b, queries_a, queries_b = ee_instance
+    spec = ALGORITHMS[algorithm]
+
+    def cell():
+        return run_algorithm(
+            spec, graph_a, graph_b, queries_a, queries_b, k,
+            memory_budget=bench_config.memory_budget,
+            deadline=bench_config.deadline,
+            dataset="EE",
+        )
+
+    record = benchmark(cell)
+    assert record.ok, record.note
+
+
+def test_fig3_full_series(benchmark, bench_config, capsys):
+    """The complete Figure 3 sweep (k = 2..10) on EE."""
+    records = benchmark.pedantic(
+        fig3_time_vs_k,
+        args=(bench_config,),
+        kwargs={"dataset": "EE", "algorithms": FAST_ALGORITHMS},
+        rounds=1,
+        iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        print(
+            render_records(
+                records, column_key="k", metric="time", title="Figure 3 (time vs k)"
+            )
+        )

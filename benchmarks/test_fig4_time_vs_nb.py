@@ -1,0 +1,59 @@
+"""Figure 4 — time versus |V_B| (the sampled subgraph size).
+
+GSim+ should be nearly flat in |V_B| while GSim's dense iterate makes it
+superlinear.  Cells sample G_B at increasing fractions of G_A.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ALGORITHMS, render_records, run_algorithm
+from repro.experiments.figures import fig4_time_vs_nb
+from repro.graphs import load_dataset, random_node_sample
+from repro.workloads import make_workload
+
+from conftest import FAST_ALGORITHMS
+
+
+@pytest.mark.parametrize("fraction", [0.1, 0.4, 0.8])
+@pytest.mark.parametrize("algorithm", ["GSim+", "GSim"])
+def test_fig4_cell(benchmark, algorithm, fraction, bench_config):
+    """One Figure 4 cell: `algorithm` with |V_B| = fraction * |V_A| on EE."""
+    graph_a = load_dataset("EE", scale="tiny", seed=7)
+    graph_b = random_node_sample(
+        graph_a, max(16, int(graph_a.num_nodes * fraction)), seed=20
+    )
+    workload = make_workload(graph_a, graph_b, 20, 20, seed=8)
+    spec = ALGORITHMS[algorithm]
+
+    def cell():
+        return run_algorithm(
+            spec, graph_a, graph_b, workload.queries_a, workload.queries_b,
+            bench_config.iterations,
+            memory_budget=bench_config.memory_budget,
+            deadline=bench_config.deadline,
+            dataset="EE",
+        )
+
+    record = benchmark(cell)
+    assert record.ok, record.note
+
+
+def test_fig4_full_series(benchmark, bench_config, capsys):
+    """The complete Figure 4 sweep over |V_B| fractions on EE."""
+    records = benchmark.pedantic(
+        fig4_time_vs_nb,
+        args=(bench_config,),
+        kwargs={"dataset": "EE", "algorithms": FAST_ALGORITHMS},
+        rounds=1,
+        iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        print(
+            render_records(
+                records, column_key="n_b", metric="time",
+                title="Figure 4 (time vs |V_B|)",
+            )
+        )

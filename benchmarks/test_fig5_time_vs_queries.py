@@ -1,0 +1,55 @@
+"""Figure 5 — time versus query-set size (|Q_A|, |Q_B|).
+
+GSim+ pays the query size only in the final block product; SS-BC* executes
+one single-pair query per (a, b) pair and scales with |Q_A| x |Q_B|.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ALGORITHMS, render_records, run_algorithm
+from repro.experiments.figures import fig5_time_vs_queries
+from repro.workloads import make_workload
+
+from conftest import FAST_ALGORITHMS
+
+
+@pytest.mark.parametrize("size", [10, 40, 80])
+@pytest.mark.parametrize("algorithm", ["GSim+", "SS-BC*"])
+def test_fig5_cell(benchmark, algorithm, size, ee_instance, bench_config):
+    """One Figure 5 cell: `algorithm` with |Q_A| = |Q_B| = `size` on EE."""
+    graph_a, graph_b, _, _ = ee_instance
+    workload = make_workload(graph_a, graph_b, size, size, seed=8)
+    spec = ALGORITHMS[algorithm]
+
+    def cell():
+        return run_algorithm(
+            spec, graph_a, graph_b, workload.queries_a, workload.queries_b,
+            bench_config.iterations,
+            memory_budget=bench_config.memory_budget,
+            deadline=bench_config.deadline,
+            dataset="EE",
+        )
+
+    record = benchmark(cell)
+    assert record.ok, record.note
+
+
+def test_fig5_full_series(benchmark, bench_config, capsys):
+    """The complete Figure 5 query-size sweep on EE."""
+    records = benchmark.pedantic(
+        fig5_time_vs_queries,
+        args=(bench_config,),
+        kwargs={"dataset": "EE", "algorithms": FAST_ALGORITHMS},
+        rounds=1,
+        iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        print(
+            render_records(
+                records, column_key="q_a", metric="time",
+                title="Figure 5 (time vs |Q|)",
+            )
+        )

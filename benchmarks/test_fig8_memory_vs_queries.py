@@ -1,0 +1,62 @@
+"""Figure 8 — peak memory versus query-set size on EE.
+
+GSim+ stores the low-embeddings plus the |Q_A| x |Q_B| output block; the
+dense baselines hold the full n_A x n_B matrix regardless of query size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ALGORITHMS, render_records, run_algorithm
+from repro.experiments.figures import fig8_memory_vs_queries
+from repro.workloads import make_workload
+
+from conftest import FAST_ALGORITHMS
+
+
+@pytest.mark.parametrize("size", [10, 40, 80])
+def test_fig8_gsim_plus_cell(benchmark, size, ee_instance, bench_config):
+    """GSim+ memory at query size `size` on EE."""
+    graph_a, graph_b, _, _ = ee_instance
+    workload = make_workload(graph_a, graph_b, size, size, seed=8)
+    spec = ALGORITHMS["GSim+"]
+
+    def cell():
+        return run_algorithm(
+            spec, graph_a, graph_b, workload.queries_a, workload.queries_b,
+            bench_config.iterations,
+            memory_budget=bench_config.memory_budget,
+            deadline=bench_config.deadline,
+            dataset="EE",
+        )
+
+    record = benchmark(cell)
+    assert record.ok
+    benchmark.extra_info["peak_bytes"] = record.memory_bytes
+
+
+def test_fig8_full_series(benchmark, bench_config, capsys):
+    """The complete Figure 8 memory-vs-query-size table on EE."""
+    records = benchmark.pedantic(
+        fig8_memory_vs_queries,
+        args=(bench_config,),
+        kwargs={"dataset": "EE", "algorithms": FAST_ALGORITHMS},
+        rounds=1,
+        iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        print(
+            render_records(
+                records, column_key="q_a", metric="memory",
+                title="Figure 8 (memory vs |Q|)",
+            )
+        )
+    by_cell = {(r.algorithm, r.params["q_a"]): r for r in records if r.ok}
+    # GSim's dense footprint dwarfs GSim+'s at every query size it survived.
+    for (algorithm, size), record in by_cell.items():
+        if algorithm == "GSim":
+            ours = by_cell.get(("GSim+", size))
+            if ours is not None:
+                assert ours.memory_bytes < record.memory_bytes

@@ -1,0 +1,40 @@
+"""Scalability benchmark — GSim+ time versus graph size.
+
+The quantitative backing for the paper's §5.2.1 claim that "GSim+ time
+rises in proportion to the size |G_A|" (and, by Theorem 4.1, for the
+billion-edge extrapolation): a geometric sweep of R-MAT graphs is timed
+and the log-log exponent of time against edges is fitted.  Near 1 means
+linear scaling.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.scaling import scaling_study
+
+
+def test_gsim_plus_scaling_exponent(benchmark, capsys):
+    """Fit the time-vs-edges exponent over a 16x edge range."""
+    study = benchmark.pedantic(
+        scaling_study,
+        kwargs=dict(
+            scales=(9, 10, 11, 12, 13),
+            edges_per_node=12.0,
+            iterations=7,
+            query_size=100,
+            sample_size=256,
+            seed=7,
+            repeats=3,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    with capsys.disabled():
+        print("\nGSim+ scaling study (R-MAT, k=7):")
+        for point in study.points:
+            print(
+                f"  n={point.nodes:>6,}  m={point.edges:>9,}  "
+                f"time={point.seconds * 1e3:8.2f} ms"
+            )
+        print(f"  fitted log-log exponent: {study.exponent:.3f} (1.0 = linear)")
+    # The paper's claim, with slack for constant overheads at small sizes.
+    assert study.is_near_linear(tolerance=0.5), study.exponent

@@ -1,0 +1,124 @@
+"""Content-aware entity matching — structure plus features.
+
+The paper's introduction notes GSim "can be easily adapted to
+content-based similarity measures".  The mechanism: replace the all-ones
+start matrix with a content prior ``Z_0 = F_A F_B^T`` built from per-node
+feature vectors (``gsim_plus(..., initial_factors=(F_A, F_B))``).  The
+factored GSim+ iteration stays exact; the content narrows one dimension
+of identity and the link structure the other.
+
+Scenario: two product catalogues.  Each catalogue has several *sections*
+(kitchen, sports, ...), and inside a section products form a pipeline
+``entry -> core -> accessory``.  Then:
+
+* **structure alone** identifies a product's pipeline *position* but not
+  its section — every section looks identical topologically;
+* **content alone** (section feature vectors) identifies the section but
+  not the position — all products in a section share features;
+* **feature-seeded GSim+** resolves both and recovers the full planted
+  correspondence.
+
+Run with::
+
+    python examples/content_aware_matching.py
+"""
+
+import numpy as np
+
+from repro import Graph, gsim_plus
+from repro.analysis import alignment_accuracy, best_alignment
+
+SECTIONS = ["kitchen", "sports", "books", "garden"]
+CHAIN = ["entry", "core", "accessory"]
+
+
+def build_catalogue(seed: int) -> tuple[Graph, np.ndarray]:
+    """A catalogue: one ``entry -> core -> accessory`` chain per section.
+
+    Features are (noisy) one-hot section indicators, so products within a
+    section are content-twins and products at the same chain position are
+    structure-twins.
+    """
+    num_sections, chain_len = len(SECTIONS), len(CHAIN)
+    n = num_sections * chain_len
+    edges = []
+    features = np.zeros((n, num_sections))
+    for section in range(num_sections):
+        base = section * chain_len
+        for position in range(chain_len - 1):
+            edges.append((base + position, base + position + 1))
+        features[base : base + chain_len, section] = 1.0
+    rng = np.random.default_rng(seed)
+    features += rng.uniform(0.0, 0.02, features.shape)  # mild feature noise
+    return Graph.from_edges(n, edges, name=f"catalogue-{seed}"), features
+
+
+def permute_catalogue(
+    graph: Graph, features: np.ndarray, seed: int
+) -> tuple[Graph, np.ndarray, dict[int, int]]:
+    """Relabel a catalogue with a random permutation.
+
+    Returns the permuted graph/features plus the ground-truth mapping
+    ``catalogue-A node -> permuted catalogue-B node``, so tie-breaking by
+    node id cannot accidentally reproduce the planted correspondence.
+    """
+    rng = np.random.default_rng(seed)
+    n = graph.num_nodes
+    permutation = rng.permutation(n)  # original id -> new id
+    inverse = np.argsort(permutation)  # new id -> original id
+    edges = [
+        (int(permutation[s]), int(permutation[d]), w) for s, d, w in graph.edges()
+    ]
+    permuted_graph = Graph.from_edges(n, edges, name=f"{graph.name}-permuted")
+    permuted_features = features[inverse]
+    truth = {i: int(permutation[i]) for i in range(n)}
+    return permuted_graph, permuted_features, truth
+
+
+def main() -> None:
+    catalogue_a, features_a = build_catalogue(seed=1)
+    original_b, original_features_b = build_catalogue(seed=2)
+    catalogue_b, features_b, truth = permute_catalogue(
+        original_b, original_features_b, seed=9
+    )
+    print(f"catalogue A: {catalogue_a}")
+    print(f"catalogue B: {catalogue_b} (randomly relabelled)")
+    print(
+        f"{len(SECTIONS)} sections x {len(CHAIN)} pipeline positions: "
+        "structure fixes the position, content fixes the section\n"
+    )
+
+    # --- structure only -------------------------------------------------
+    structural = gsim_plus(
+        catalogue_a, catalogue_b, iterations=4, normalization="global"
+    ).similarity
+    structure_accuracy = alignment_accuracy(best_alignment(structural), truth)
+
+    # --- content only ---------------------------------------------------
+    content = features_a @ features_b.T
+    content_accuracy = alignment_accuracy(best_alignment(content), truth)
+
+    # --- structure + content (feature-seeded GSim+) ---------------------
+    seeded = gsim_plus(
+        catalogue_a,
+        catalogue_b,
+        iterations=4,
+        normalization="global",
+        initial_factors=(features_a, features_b),
+    ).similarity
+    combined_accuracy = alignment_accuracy(best_alignment(seeded), truth)
+
+    print("alignment accuracy against the planted correspondence:")
+    print(f"  structure only       {structure_accuracy:6.1%}")
+    print(f"  content only         {content_accuracy:6.1%}")
+    print(f"  structure + content  {combined_accuracy:6.1%}")
+
+    assert combined_accuracy > max(structure_accuracy, content_accuracy)
+    print(
+        "\nneither signal identifies a product alone; the feature-seeded "
+        "iteration recovers the full correspondence"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,108 @@
+"""Social-media community alignment — the paper's motivating application.
+
+The introduction's scenario: ``G_A`` is a Facebook-like graph, ``G_B`` a
+Twitter-like graph, and GSim similarity search over query sets discovers
+communities on one platform whose interaction patterns match communities
+on the other (targeted advertising, content recommendation).
+
+GSim's recursion mixes ``A`` and ``A^T``, so what it matches across graphs
+is *directional* interaction roles.  Both platforms therefore get three
+planted communities with distinct roles:
+
+* **broadcasters** — post into the mixer community, receive little;
+* **audience** — receive from the mixers, post little;
+* **mixers** — densely interact among themselves and bridge the other two.
+
+The communities have different sizes on each platform; GSim+ scores all
+cross-platform user pairs and a per-community *lift* matrix (mean block
+similarity normalised by row/column mass, so pure degree effects cancel)
+recovers which community corresponds to which.
+
+Run with::
+
+    python examples/social_media_alignment.py
+"""
+
+import numpy as np
+
+from repro import gsim_plus
+from repro.graphs.generators import directed_block_graph
+
+# Block-to-block edge probabilities: rows = source community.
+# Order: broadcasters, audience, mixers.
+ROLE_MATRIX = [
+    [0.05, 0.00, 0.30],  # broadcasters post into the mixer core
+    [0.00, 0.05, 0.00],  # the audience mostly lurks
+    [0.00, 0.30, 0.20],  # mixers push content to the audience
+]
+ROLE_NAMES = ["broadcasters", "audience", "mixers"]
+
+
+def community_blocks(sizes: list[int]) -> list[np.ndarray]:
+    """Index arrays of each community given block sizes."""
+    boundaries = np.cumsum([0] + sizes)
+    return [np.arange(boundaries[i], boundaries[i + 1]) for i in range(len(sizes))]
+
+
+def lift_matrix(similarity: np.ndarray, blocks_a, blocks_b) -> np.ndarray:
+    """Mean block similarity normalised by row/column mass.
+
+    GSim scores are dominated by overall activity (degree) profiles; the
+    lift divides out that rank-1 mass so the directional-role signal shows.
+    """
+    means = np.array(
+        [
+            [similarity[np.ix_(block_a, block_b)].mean() for block_b in blocks_b]
+            for block_a in blocks_a
+        ]
+    )
+    return means / np.outer(means.mean(axis=1), means.mean(axis=0)) * means.mean()
+
+
+def main() -> None:
+    sizes_a = [30, 40, 50]
+    graph_a = directed_block_graph(sizes_a, ROLE_MATRIX, seed=11, name="facebook")
+    sizes_b = [20, 25, 35]
+    graph_b = directed_block_graph(sizes_b, ROLE_MATRIX, seed=23, name="twitter")
+    print(f"G_A = {graph_a} (communities {sizes_a})")
+    print(f"G_B = {graph_b} (communities {sizes_b})")
+
+    blocks_a = community_blocks(sizes_a)
+    blocks_b = community_blocks(sizes_b)
+
+    similarity = gsim_plus(
+        graph_a, graph_b, iterations=10, normalization="global"
+    ).similarity
+
+    lift = lift_matrix(similarity, blocks_a, blocks_b)
+    print("\ncommunity-pair lift (rows: Facebook, cols: Twitter):")
+    with np.printoptions(precision=3, suppress=True):
+        print(lift)
+
+    matched = lift.argmax(axis=1)
+    print("\nmatches:")
+    for i, j in enumerate(matched):
+        marker = "ok" if i == j else "MISMATCH"
+        print(f"  Facebook {ROLE_NAMES[i]:<13} -> Twitter {ROLE_NAMES[j]:<13} [{marker}]")
+    hits = int((matched == np.arange(len(blocks_a))).sum())
+    print(f"{hits}/{len(blocks_a)} communities matched to their counterpart")
+
+    # Targeted-advertising query: seed users from the Facebook broadcaster
+    # community, retrieve the Twitter users with the highest lift.
+    seeds = blocks_a[0][:5]
+    scores = gsim_plus(
+        graph_a, graph_b, iterations=10, queries_a=seeds, normalization="global"
+    ).similarity.mean(axis=0)
+    # Normalise out each candidate's raw activity mass before ranking.
+    mass = similarity.mean(axis=0)
+    adjusted = scores / (mass + mass.mean() * 1e-6)
+    top = np.argsort(-adjusted)[:10]
+    inside = int(np.isin(top, blocks_b[0]).sum())
+    print(
+        f"\ntop-10 Twitter matches for 5 Facebook broadcaster seeds: {top.tolist()}\n"
+        f"{inside}/10 are Twitter broadcasters"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+"""Web-graph anomaly detection across crawls.
+
+Papadimitriou et al. (2010, cited by the paper) monitor a search engine's
+web graph by computing a *similarity score between consecutive crawls*:
+normal churn moves the score a little, while crawler bugs or attacks (link
+farms, lost hosts) move it more and concentrate the change on a few pages.
+
+This example reproduces the pipeline at laptop scale with GSim+ as the
+similarity engine:
+
+1. **Graph-level drift score** — the mass of the self-similarity diagonal
+   ``sum_i S[i, i]`` of the cross-crawl GSim matrix (normalised over the
+   common pages).  It decreases monotonically with edge churn, giving a
+   single health number per re-crawl.
+2. **Page-level attribution** — the pages whose normalised self-similarity
+   moved the most (``|diag delta|``) localise the structural change; the
+   injected link-farm target ranks first.
+
+Run with::
+
+    python examples/web_anomaly_detection.py
+"""
+
+import numpy as np
+
+from repro import Graph, gsim_plus
+from repro.graphs import rmat_graph
+
+
+def perturb_edges(graph: Graph, fraction: float, seed: int) -> Graph:
+    """Resample ``fraction`` of the edges uniformly (normal crawl churn)."""
+    rng = np.random.default_rng(seed)
+    edges = [(s, d) for s, d, _ in graph.edges()]
+    keep = rng.random(len(edges)) >= fraction
+    surviving = {edge for edge, flag in zip(edges, keep) if flag}
+    n = graph.num_nodes
+    while len(surviving) < len(edges):
+        candidate = (int(rng.integers(n)), int(rng.integers(n)))
+        if candidate[0] != candidate[1]:
+            surviving.add(candidate)
+    return Graph.from_edges(n, sorted(surviving), name=f"{graph.name}-churn")
+
+
+def inject_link_farm(graph: Graph, target: int, farm_size: int, seed: int) -> Graph:
+    """Add a dense cluster of new pages all linking to ``target``."""
+    rng = np.random.default_rng(seed)
+    n = graph.num_nodes
+    edges = [(s, d) for s, d, _ in graph.edges()]
+    farm = list(range(n, n + farm_size))
+    for page in farm:
+        edges.append((page, target))
+        # Farms also interlink to inflate each other.
+        for other in rng.choice(farm, size=3):
+            if int(other) != page:
+                edges.append((page, int(other)))
+    return Graph.from_edges(n + farm_size, edges, name=f"{graph.name}-spam")
+
+
+def self_similarity_profile(baseline: Graph, recrawl: Graph) -> np.ndarray:
+    """Per-page normalised self-similarity between two crawls.
+
+    Runs GSim+ between the crawls, restricts to the pages present in both,
+    and returns the diagonal scaled to the block's Frobenius mass — the
+    per-page "my role is unchanged" signal.
+    """
+    n = baseline.num_nodes
+    similarity = gsim_plus(
+        baseline, recrawl, iterations=8, normalization="global"
+    ).similarity[:, :n]
+    return np.diag(similarity) / np.linalg.norm(similarity)
+
+
+def main() -> None:
+    crawl_0 = rmat_graph(9, 4_000, seed=3, name="crawl0")  # 512 pages
+    print(f"baseline crawl: {crawl_0}")
+    baseline_profile = self_similarity_profile(crawl_0, crawl_0)
+    print(f"graph health score (self):  {baseline_profile.sum():.4f}")
+
+    # Healthy re-crawls at increasing churn: the score degrades smoothly.
+    print("\nhealthy re-crawls:")
+    for churn in (0.01, 0.03, 0.10):
+        recrawl = perturb_edges(crawl_0, fraction=churn, seed=40 + int(churn * 100))
+        score = self_similarity_profile(crawl_0, recrawl).sum()
+        print(f"  churn {churn:>4.0%}: score {score:.4f} "
+              f"(drop {baseline_profile.sum() - score:+.4f})")
+
+    # Compromised re-crawl: a link farm pointed at one mid-popularity page.
+    in_degrees = crawl_0.in_degrees()
+    target = int(np.argsort(in_degrees)[crawl_0.num_nodes // 2])
+    crawl_spam = inject_link_farm(crawl_0, target=target, farm_size=40, seed=5)
+    spam_profile = self_similarity_profile(crawl_0, crawl_spam)
+    print(f"\nlink-farm re-crawl: score {spam_profile.sum():.4f}")
+
+    # Attribution: pages whose self-similarity moved the most.
+    delta = np.abs(baseline_profile - spam_profile)
+    suspects = np.argsort(-delta)[:5]
+    rank = int(np.where(np.argsort(-delta) == target)[0][0]) + 1
+    print(f"top-5 pages by self-similarity shift: {suspects.tolist()}")
+    print(f"farm target (page {target}) ranks #{rank} of {crawl_0.num_nodes}")
+
+
+if __name__ == "__main__":
+    main()

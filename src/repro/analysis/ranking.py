@@ -1,0 +1,79 @@
+"""Ranking-quality metrics.
+
+The paper evaluates matrix-level error; downstream applications (synonym
+extraction, community matching) consume *rankings* of candidate pairs, so
+the examples and ablations also report top-k overlap and Kendall's tau
+between the rankings induced by two similarity matrices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["kendall_tau", "top_k_overlap"]
+
+
+def top_k_overlap(scores_a: np.ndarray, scores_b: np.ndarray, k: int) -> float:
+    """Fraction of shared entries among the top-``k`` of two score matrices.
+
+    Both matrices are flattened; ties are broken by index for determinism.
+
+    >>> import numpy as np
+    >>> top_k_overlap(np.array([3., 2., 1.]), np.array([3., 2., 0.]), 2)
+    1.0
+    """
+    flat_a = np.asarray(scores_a, dtype=np.float64).ravel()
+    flat_b = np.asarray(scores_b, dtype=np.float64).ravel()
+    if flat_a.size != flat_b.size:
+        raise ValueError("score arrays must have the same number of entries")
+    if not 1 <= k <= flat_a.size:
+        raise ValueError(f"k must be in [1, {flat_a.size}], got {k}")
+    top_a = set(np.argsort(-flat_a, kind="stable")[:k].tolist())
+    top_b = set(np.argsort(-flat_b, kind="stable")[:k].tolist())
+    return len(top_a & top_b) / float(k)
+
+
+def kendall_tau(scores_a: np.ndarray, scores_b: np.ndarray) -> float:
+    """Kendall rank correlation between two flattened score matrices.
+
+    Returns a value in [-1, 1]; 1 means identical rankings.  Uses the
+    O(n log n) merge-sort inversion count (tau-a; assumes few exact ties,
+    which holds for similarity scores of real graphs).
+    """
+    flat_a = np.asarray(scores_a, dtype=np.float64).ravel()
+    flat_b = np.asarray(scores_b, dtype=np.float64).ravel()
+    if flat_a.size != flat_b.size:
+        raise ValueError("score arrays must have the same number of entries")
+    n = flat_a.size
+    if n < 2:
+        raise ValueError("need at least two entries to rank")
+    # Sort by A, then count inversions in the corresponding B order.
+    order = np.argsort(flat_a, kind="stable")
+    b_in_a_order = flat_b[order]
+    inversions = _count_inversions(b_in_a_order.tolist())
+    total_pairs = n * (n - 1) // 2
+    return 1.0 - 2.0 * inversions / total_pairs
+
+
+def _count_inversions(values: list[float]) -> int:
+    """Merge-sort inversion count (pairs out of order)."""
+    if len(values) < 2:
+        return 0
+    mid = len(values) // 2
+    left = values[:mid]
+    right = values[mid:]
+    count = _count_inversions(left) + _count_inversions(right)
+    merged = []
+    i = j = 0
+    while i < len(left) and j < len(right):
+        if left[i] <= right[j]:
+            merged.append(left[i])
+            i += 1
+        else:
+            merged.append(right[j])
+            j += 1
+            count += len(left) - i
+    merged.extend(left[i:])
+    merged.extend(right[j:])
+    values[:] = merged
+    return count

@@ -1,0 +1,35 @@
+"""Baseline algorithms the paper compares GSim+ against.
+
+Each baseline follows the interface conventions of the core solver: it
+takes two :class:`repro.graphs.Graph` objects (or one, for the
+single-graph role models) plus query sets, and returns a dense
+``|Q_A| x |Q_B|`` similarity (or distance) block.
+
+* :mod:`repro.baselines.gsim` — Blondel et al.'s original power iteration.
+* :mod:`repro.baselines.gsvd` — Cason et al.'s fixed-rank SVD scheme.
+* :mod:`repro.baselines.rolesim` — Jin et al.'s RoleSim on ``G_A ∪ G_B``.
+* :mod:`repro.baselines.ned` — Zhu et al.'s k-adjacent-tree edit distance.
+* :mod:`repro.baselines.structsim` — Chen et al.'s StructSim (SS-BC*).
+"""
+
+from repro.baselines.gsim import GSimResult, gsim, gsim_partial
+from repro.baselines.gsvd import GSVDResult, gsvd
+from repro.baselines.ned import NEDIndex, ned_distance, ned_query
+from repro.baselines.rolesim import RoleSimResult, rolesim, rolesim_query
+from repro.baselines.structsim import StructSimIndex, structsim_query
+
+__all__ = [
+    "GSVDResult",
+    "GSimResult",
+    "NEDIndex",
+    "RoleSimResult",
+    "StructSimIndex",
+    "gsim",
+    "gsim_partial",
+    "gsvd",
+    "ned_distance",
+    "ned_query",
+    "rolesim",
+    "rolesim_query",
+    "structsim_query",
+]

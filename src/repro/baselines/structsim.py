@@ -1,0 +1,156 @@
+"""StructSim (SS-BC*) — Chen et al.'s hierarchical BinCount framework.
+
+StructSim answers *single-pair* structural similarity queries from a
+precomputed hierarchical index:
+
+* **Index** — for every node and every level ``l = 0..K``, a *BinCount
+  signature*: a histogram over logarithmic degree bins of the node's
+  level-``l`` neighbourhood.  Level 0 is the node's own degree bin;
+  level ``l`` aggregates the level-``l-1`` signatures of its neighbours
+  (one sparse matrix product per level).  Index space is
+  ``O(K (n_A + n_B) log D)`` — the ``log D`` factor is the bin count.
+* **Query** — the BC* matching between nodes ``u`` and ``v`` at level
+  ``l`` is the normalised bin-wise overlap
+  ``sum_b min(sig_l(u)[b], sig_l(v)[b]) / max(|sig_l(u)|, |sig_l(v)|)``;
+  the similarity averages the levels.  Each pair costs ``O(K log D)``.
+
+For a ``|Q_A| x |Q_B|`` workload the single-pair query simply runs
+``|Q_A| * |Q_B|`` times — the duplicate work across pairs is exactly the
+inefficiency the paper's Figure 5 attributes to SS-BC*.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graphs.graph import Graph
+from repro.utils.deadline import WallClockDeadline
+from repro.utils.validation import check_nonnegative_integer
+
+__all__ = ["StructSimIndex", "structsim_query"]
+
+
+def _degree_bin(degree: int) -> int:
+    """Logarithmic degree bin: 0 for isolated nodes, else 1+floor(log2 d)."""
+    if degree <= 0:
+        return 0
+    return 1 + int(degree).bit_length() - 1
+
+
+class StructSimIndex:
+    """Hierarchical BinCount index over one graph.
+
+    Parameters
+    ----------
+    graph:
+        Indexed graph (symmetrised: StructSim uses undirected structure).
+    levels:
+        Number of hierarchy levels ``K`` (paper default 10 matches the
+        iteration count of the other models).
+    max_bins:
+        Signature width; degrees above ``2**(max_bins-1)`` share the top
+        bin.  ``log D`` in the complexity analysis.
+
+    Examples
+    --------
+    >>> from repro.graphs import Graph
+    >>> g = Graph.from_edges(3, [(0, 1), (1, 2)])
+    >>> index = StructSimIndex(g, levels=2)
+    >>> 0.0 <= index.pair_similarity(index, 0, 2) <= 1.0
+    True
+    """
+
+    def __init__(self, graph: Graph, levels: int = 10, max_bins: int = 32) -> None:
+        levels = check_nonnegative_integer(levels, "levels")
+        if max_bins < 1:
+            raise ValueError(f"max_bins must be >= 1, got {max_bins}")
+        self.levels = levels
+        self.max_bins = max_bins
+        undirected = graph.to_undirected()
+        n = undirected.num_nodes
+        degrees = undirected.out_degrees()
+        # Level-0 signature: one-hot of the node's own degree bin.
+        bins = np.minimum(
+            np.array([_degree_bin(int(d)) for d in degrees]), max_bins - 1
+        )
+        base = sp.csr_matrix(
+            (np.ones(n), (np.arange(n), bins)), shape=(n, max_bins)
+        )
+        signatures = [np.asarray(base.todense())]
+        adjacency = undirected.adjacency
+        # Boolean propagation keeps counts = number of level-l walks;
+        # stored dense because max_bins is tiny.
+        for _ in range(levels):
+            signatures.append(np.asarray(adjacency @ signatures[-1]))
+        # (levels+1, n, max_bins) stack for O(1) per-pair access.
+        self._signatures = np.stack(signatures)
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of indexed nodes."""
+        return self._signatures.shape[1]
+
+    def memory_bytes(self) -> int:
+        """Bytes held by the signature stack."""
+        return self._signatures.nbytes
+
+    def signature(self, node: int, level: int) -> np.ndarray:
+        """The level-``level`` BinCount signature of ``node``."""
+        if not (0 <= node < self.num_nodes):
+            raise IndexError(f"node {node} out of range")
+        if not (0 <= level <= self.levels):
+            raise IndexError(f"level {level} out of range (0..{self.levels})")
+        return self._signatures[level, node]
+
+    def pair_similarity(
+        self, other: "StructSimIndex", node_self: int, node_other: int
+    ) -> float:
+        """BC* similarity between a node here and a node in ``other``.
+
+        Averages the per-level normalised bin overlaps; both indexes must
+        share ``levels`` and ``max_bins``.
+        """
+        if self.levels != other.levels or self.max_bins != other.max_bins:
+            raise ValueError("indexes were built with different parameters")
+        sig_u = self._signatures[:, node_self]  # (levels+1, bins)
+        sig_v = other._signatures[:, node_other]
+        overlap = np.minimum(sig_u, sig_v).sum(axis=1)
+        larger = np.maximum(sig_u.sum(axis=1), sig_v.sum(axis=1))
+        # Levels where both neighbourhoods are empty count as identical.
+        with np.errstate(invalid="ignore", divide="ignore"):
+            ratios = np.where(larger > 0, overlap / larger, 1.0)
+        return float(ratios.mean())
+
+
+def structsim_query(
+    graph_a: Graph,
+    graph_b: Graph,
+    queries_a: np.ndarray | list[int],
+    queries_b: np.ndarray | list[int],
+    levels: int = 10,
+    max_bins: int = 32,
+    index_a: StructSimIndex | None = None,
+    index_b: StructSimIndex | None = None,
+    deadline: WallClockDeadline | None = None,
+) -> np.ndarray:
+    """SS-BC* similarity block: one single-pair query per ``(a, b)`` pair.
+
+    Pre-built indexes may be passed to amortise construction across calls
+    (the paper's SS-BC* also builds its index once); the query loop itself
+    is intentionally pair-at-a-time, reproducing the repeated-execution
+    behaviour the paper criticises.
+    """
+    rows = np.asarray(queries_a, dtype=np.int64)
+    cols = np.asarray(queries_b, dtype=np.int64)
+    if index_a is None:
+        index_a = StructSimIndex(graph_a, levels=levels, max_bins=max_bins)
+    if index_b is None:
+        index_b = StructSimIndex(graph_b, levels=levels, max_bins=max_bins)
+    block = np.empty((rows.size, cols.size))
+    for i, node_a in enumerate(rows):
+        if deadline is not None:
+            deadline.check("SS-BC* pair queries")
+        for j, node_b in enumerate(cols):
+            block[i, j] = index_a.pair_similarity(index_b, int(node_a), int(node_b))
+    return block

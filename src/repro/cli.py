@@ -1,0 +1,335 @@
+"""Command-line entry point: regenerate any figure or table of the paper.
+
+Usage (installed as ``gsimplus`` or via ``python -m repro.cli``)::
+
+    gsimplus fig2 --scale tiny
+    gsimplus fig3 --dataset EE --scale small
+    gsimplus accuracy --scale tiny
+    gsimplus all --scale tiny
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from repro.experiments.figures import (
+    fig2_time_by_dataset,
+    fig3_time_vs_k,
+    fig4_time_vs_nb,
+    fig5_time_vs_queries,
+    fig6_memory_by_dataset,
+    fig7_memory_vs_k,
+    fig8_memory_vs_queries,
+)
+from repro.experiments.guards import Deadline, MemoryBudget
+from repro.experiments.report import render_records
+from repro.experiments.runner import ExperimentConfig
+from repro.experiments.tables import accuracy_table, render_accuracy_table
+
+__all__ = ["main"]
+
+_FIGURES: dict[str, tuple[Callable, str, str, str]] = {
+    # name -> (driver, sweep column, metric, description)
+    "fig2": (fig2_time_by_dataset, "dataset", "time", "time by dataset"),
+    "fig3": (fig3_time_vs_k, "k", "time", "time vs iterations k"),
+    "fig4": (fig4_time_vs_nb, "n_b", "time", "time vs |V_B|"),
+    "fig5": (fig5_time_vs_queries, "q_a", "time", "time vs query size"),
+    "fig6": (fig6_memory_by_dataset, "dataset", "memory", "memory by dataset"),
+    "fig7": (fig7_memory_vs_k, "k", "memory", "memory vs iterations k"),
+    "fig8": (fig8_memory_vs_queries, "q_a", "memory", "memory vs query size"),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="gsimplus",
+        description="Regenerate the figures and tables of the GSim+ paper "
+        "(EDBT 2024) on simulated, scale-reduced datasets.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def _add_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--scale",
+            default="tiny",
+            choices=("tiny", "small", "medium"),
+            help="dataset scale profile (default: tiny)",
+        )
+        sub.add_argument(
+            "--seed", type=int, default=7, help="random seed (default: 7)"
+        )
+        sub.add_argument(
+            "--iterations",
+            "-k",
+            type=int,
+            default=None,
+            help="iterations K (default: a per-scale value keeping 2^K "
+            "below the scaled |V_B|, as in the paper's regime)",
+        )
+        sub.add_argument(
+            "--algorithms",
+            default=None,
+            help="comma-separated competitor subset, e.g. 'GSim+,GSim' "
+            "(default: all six)",
+        )
+        sub.add_argument(
+            "--deadline",
+            type=float,
+            default=20.0,
+            help="per-cell wall-clock budget in seconds (default: 20)",
+        )
+        sub.add_argument(
+            "--memory-budget-mib",
+            type=float,
+            default=256.0,
+            help="per-cell memory budget in MiB (default: 256)",
+        )
+
+    for name, (_, _, _, description) in _FIGURES.items():
+        sub = subparsers.add_parser(name, help=f"Figure {name[3:]}: {description}")
+        _add_common(sub)
+        if name in ("fig3", "fig4", "fig5", "fig7", "fig8"):
+            sub.add_argument("--dataset", default="EE", help="dataset key")
+
+    accuracy = subparsers.add_parser(
+        "accuracy", help="§5.2.3 accuracy table (GSim+/GSim vs GSVD ranks)"
+    )
+    _add_common(accuracy)
+    accuracy.add_argument("--dataset", default="HP", help="dataset key")
+
+    bound = subparsers.add_parser(
+        "bound", help="Theorem 4.2 validation: measured error vs spectral bound"
+    )
+    _add_common(bound)
+    bound.add_argument("--dataset", default="HP", help="dataset key")
+
+    everything = subparsers.add_parser(
+        "all", help="regenerate every figure and the accuracy table"
+    )
+    _add_common(everything)
+
+    topk = subparsers.add_parser(
+        "topk", help="retrieve the k most similar cross-graph pairs"
+    )
+    _add_common(topk)
+    topk.add_argument("--dataset", default="HP", help="dataset key")
+    topk.add_argument("--top", type=int, default=10, help="number of pairs")
+
+    datasets = subparsers.add_parser(
+        "datasets", help="show the simulated dataset registry and statistics"
+    )
+    datasets.add_argument(
+        "--scale", default="tiny", choices=("tiny", "small", "medium"),
+        help="profile whose realised statistics to measure",
+    )
+    datasets.add_argument("--seed", type=int, default=7)
+
+    sim = subparsers.add_parser(
+        "sim", help="compute GSim+ similarities between two edge-list files"
+    )
+    sim.add_argument("graph_a", help="edge-list file for G_A")
+    sim.add_argument("graph_b", help="edge-list file for G_B")
+    sim.add_argument(
+        "--iterations", "-k", type=int, default=10, help="iterations K"
+    )
+    sim.add_argument(
+        "--queries-a", default=None,
+        help="comma-separated G_A node ids (default: all nodes)",
+    )
+    sim.add_argument(
+        "--queries-b", default=None,
+        help="comma-separated G_B node ids (default: all nodes)",
+    )
+    sim.add_argument(
+        "--top", type=int, default=None,
+        help="instead of the block, print the top-N pairs",
+    )
+    sim.add_argument(
+        "--relabel", action="store_true",
+        help="accept arbitrary node tokens (relabelled to 0..n-1)",
+    )
+    sim.add_argument(
+        "--output", default=None, help="write the block as CSV to this path"
+    )
+
+    spec = subparsers.add_parser(
+        "spec", help="run a declarative experiment from a JSON spec file"
+    )
+    spec.add_argument("spec_path", help="path to the JSON experiment spec")
+    spec.add_argument(
+        "--metric", default="time", choices=("time", "memory"),
+        help="metric to tabulate (default: time)",
+    )
+    spec.add_argument(
+        "--export-csv", default=None, help="also write the records to this CSV"
+    )
+    return parser
+
+
+def _run_figure(name: str, args: argparse.Namespace) -> str:
+    driver, column, metric, description = _FIGURES[name]
+    guards = dict(
+        memory_budget=MemoryBudget(int(args.memory_budget_mib * 1024 * 1024)),
+        deadline=Deadline(limit_seconds=args.deadline),
+    )
+    if args.iterations is None:
+        config = ExperimentConfig.for_scale(args.scale, seed=args.seed, **guards)
+    else:
+        config = ExperimentConfig(
+            scale=args.scale, iterations=args.iterations, seed=args.seed, **guards
+        )
+    kwargs = {}
+    if hasattr(args, "dataset") and name not in ("fig2", "fig6"):
+        kwargs["dataset"] = args.dataset
+    if args.algorithms:
+        kwargs["algorithms"] = tuple(
+            token.strip() for token in args.algorithms.split(",") if token.strip()
+        )
+    records = driver(config, **kwargs)
+    title = f"Figure {name[3:]} — {description} (scale={args.scale})"
+    return render_records(records, column_key=column, metric=metric, title=title)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command in _FIGURES:
+        print(_run_figure(args.command, args))
+        return 0
+    if args.command == "accuracy":
+        table = accuracy_table(
+            dataset=args.dataset, scale=args.scale, seed=args.seed
+        )
+        print(render_accuracy_table(table))
+        print(
+            f"max |GSim+ err - GSim err| = {table.max_equivalence_gap():.3e} "
+            "(Theorem 3.1 predicts 0)"
+        )
+        return 0
+    if args.command == "bound":
+        from repro.experiments.tables import error_bound_table, render_error_bound_table
+
+        table = error_bound_table(dataset=args.dataset, seed=args.seed)
+        print(render_error_bound_table(table))
+        return 0
+    if args.command == "all":
+        for name in _FIGURES:
+            print(_run_figure(name, args))
+            print()
+        table = accuracy_table(scale=args.scale, seed=args.seed)
+        print(render_accuracy_table(table))
+        return 0
+    if args.command == "topk":
+        from repro.core import top_k_pairs
+        from repro.graphs import load_dataset_pair
+
+        graph_a, graph_b = load_dataset_pair(
+            args.dataset, scale=args.scale, seed=args.seed
+        )
+        iterations = args.iterations
+        if iterations is None:
+            iterations = ExperimentConfig.for_scale(args.scale).iterations
+        pairs = top_k_pairs(graph_a, graph_b, args.top, iterations=iterations)
+        print(f"top-{args.top} pairs on {graph_a.name} (K={iterations}):")
+        for pair in pairs:
+            print(
+                f"  G_A {pair.node_a:>7}  ~  G_B {pair.node_b:>6}"
+                f"   score {pair.score:.5f}"
+            )
+        return 0
+    if args.command == "sim":
+        import numpy as np
+
+        from repro.core import top_k_pairs
+        from repro.core.gsim_plus import gsim_plus
+        from repro.graphs import read_edge_list
+
+        graph_a = read_edge_list(args.graph_a, relabel=args.relabel)
+        graph_b = read_edge_list(args.graph_b, relabel=args.relabel)
+        print(f"G_A = {graph_a}")
+        print(f"G_B = {graph_b}")
+        if args.top is not None:
+            pairs = top_k_pairs(graph_a, graph_b, args.top, iterations=args.iterations)
+            for pair in pairs:
+                print(f"  {pair.node_a}\t{pair.node_b}\t{pair.score:.6f}")
+            return 0
+
+        def _parse_queries(raw: str | None) -> list[int] | None:
+            if raw is None:
+                return None
+            return [int(token) for token in raw.split(",") if token.strip()]
+
+        result = gsim_plus(
+            graph_a,
+            graph_b,
+            iterations=args.iterations,
+            queries_a=_parse_queries(args.queries_a),
+            queries_b=_parse_queries(args.queries_b),
+            normalization="global",
+        )
+        if args.output:
+            np.savetxt(args.output, result.similarity, delimiter=",", fmt="%.8g")
+            print(f"{result.similarity.shape} block written to {args.output}")
+        else:
+            with np.printoptions(precision=4, suppress=True, threshold=400):
+                print(result.similarity)
+        return 0
+    if args.command == "spec":
+        from repro.experiments.export import write_csv
+        from repro.experiments.spec import ExperimentSpec, run_spec
+
+        spec = ExperimentSpec.from_json(args.spec_path)
+        records = run_spec(spec)
+        column = "dataset" if spec.sweep_axis is None else {
+            "iterations": "k",
+            "query_size": "q_a",
+            "sample_size": "n_b",
+        }[spec.sweep_axis]
+        print(
+            render_records(
+                records, column_key=column, metric=args.metric, title=spec.name
+            )
+        )
+        if args.export_csv:
+            write_csv(records, args.export_csv)
+            print(f"records written to {args.export_csv}")
+        return 0
+    if args.command == "datasets":
+        from repro.experiments.report import render_table
+        from repro.graphs import DATASETS, degree_statistics, load_dataset
+
+        rows = []
+        for key in sorted(DATASETS):
+            spec = DATASETS[key]
+            graph = load_dataset(key, scale=args.scale, seed=args.seed)
+            stats = degree_statistics(graph)
+            rows.append(
+                [
+                    key,
+                    f"{spec.paper_nodes:,}",
+                    f"{spec.paper_edges:,}",
+                    f"{spec.edge_ratio:.1f}",
+                    f"{graph.num_nodes:,}",
+                    f"{graph.num_edges:,}",
+                    f"{graph.average_degree:.1f}",
+                    f"{stats.gini:.2f}",
+                ]
+            )
+        print(
+            render_table(
+                [
+                    "key", "paper n", "paper m", "paper m/n",
+                    f"{args.scale} n", f"{args.scale} m", "m/n", "gini",
+                ],
+                rows,
+                title=f"Simulated dataset registry (scale={args.scale})",
+            )
+        )
+        return 0
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,111 @@
+"""Batched query serving over precomputed factors.
+
+A retrieval service answers many query blocks against one factor pair.
+``BatchQueryEngine`` wraps :class:`repro.core.embeddings.LowRankFactors`
+with:
+
+* ``query_many`` — answer a list of ``(Q_A, Q_B)`` blocks, optionally on a
+  thread pool (the underlying BLAS products release the GIL, so threads
+  give real parallelism for large blocks);
+* ``stream_rows`` — iterate the full similarity row-block by row-block
+  under a hard memory bound, for exhaustive consumers (exports, rank
+  scans) that must never materialise ``n_A x n_B``.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.core.embeddings import LowRankFactors
+from repro.utils.validation import check_positive_integer
+
+__all__ = ["BatchQueryEngine"]
+
+
+class BatchQueryEngine:
+    """Serve similarity queries from one factor pair.
+
+    Parameters
+    ----------
+    factors:
+        The precomputed (possibly loaded) low-embeddings.
+    normalization:
+        ``"global"`` (default): blocks are entries of the unit-Frobenius
+        full matrix; ``"block"``: each block normalised by its own norm
+        (Algorithm 1's convention).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> engine = BatchQueryEngine(
+    ...     LowRankFactors(np.ones((4, 1)), np.ones((3, 1))))
+    >>> blocks = engine.query_many([([0, 1], [0]), ([2], [1, 2])])
+    >>> [b.shape for b in blocks]
+    [(2, 1), (1, 2)]
+    """
+
+    def __init__(
+        self, factors: LowRankFactors, normalization: str = "global"
+    ) -> None:
+        if normalization not in ("global", "block"):
+            raise ValueError(f"unknown normalization {normalization!r}")
+        self._factors = factors
+        self._normalization = normalization
+        self._global_norm = factors.frobenius_norm(include_scale=False)
+        if self._global_norm == 0.0:
+            raise ZeroDivisionError("factors represent the zero matrix")
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Shape of the represented similarity matrix."""
+        return self._factors.shape
+
+    def query(
+        self,
+        queries_a: np.ndarray | Sequence[int],
+        queries_b: np.ndarray | Sequence[int],
+    ) -> np.ndarray:
+        """One normalised query block."""
+        block = self._factors.query_block(queries_a, queries_b, include_scale=False)
+        if self._normalization == "block":
+            denominator = float(np.linalg.norm(block))
+            if denominator == 0.0:
+                raise ZeroDivisionError("query block has zero norm")
+        else:
+            denominator = self._global_norm
+        return block / denominator
+
+    def query_many(
+        self,
+        requests: Iterable[tuple[Sequence[int], Sequence[int]]],
+        max_workers: int | None = None,
+    ) -> list[np.ndarray]:
+        """Answer many blocks; ``max_workers > 1`` uses a thread pool.
+
+        Results come back in request order regardless of worker count.
+        """
+        request_list = list(requests)
+        if max_workers is None or max_workers <= 1:
+            return [self.query(qa, qb) for qa, qb in request_list]
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            futures = [
+                pool.submit(self.query, qa, qb) for qa, qb in request_list
+            ]
+            return [future.result() for future in futures]
+
+    def stream_rows(self, block_rows: int = 1024) -> Iterator[tuple[int, np.ndarray]]:
+        """Yield ``(start_row, normalised_block)`` covering every row.
+
+        Peak memory is ``O(block_rows * n_B)``; global normalisation is
+        used so concatenating the blocks reproduces the full matrix.
+        """
+        block_rows = check_positive_integer(block_rows, "block_rows")
+        n_rows = self._factors.shape[0]
+        v_t = self._factors.v.T
+        for start in range(0, n_rows, block_rows):
+            stop = min(start + block_rows, n_rows)
+            block = (self._factors.u[start:stop] @ v_t) / self._global_norm
+            yield start, block

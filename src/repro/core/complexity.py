@@ -1,0 +1,149 @@
+"""Analytic cost models reproducing Table 1 of the paper.
+
+Each :class:`CostModel` converts instance parameters (graph sizes, query
+sizes, iteration count, algorithm constants) into predicted time "units"
+(dominant-term operation counts) and bytes of working memory.  They serve
+three purposes:
+
+* documentation — executable Table 1;
+* the experiment guards use the memory models to predict the paper's
+  out-of-memory crashes deterministically;
+* tests assert the models' scaling behaviour (e.g. GSim+ time is linear in
+  ``m_A + m_B``, GSim memory is ``Θ(n_A n_B)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = ["COST_MODELS", "CostModel", "InstanceParams", "predict_cost"]
+
+_FLOAT64_BYTES = 8
+
+
+@dataclass(frozen=True)
+class InstanceParams:
+    """Parameters describing one similarity-search instance.
+
+    ``d_avg`` / ``d_max`` are the average / maximum degree of
+    ``G_A ∪ G_B`` (used by the RSim / SS-BC* models), ``tree_level_width``
+    is NED's ``L`` (average nodes per k-adjacent-tree level) and ``rank``
+    is GSVD's fixed SVD rank ``r``.
+    """
+
+    n_a: int
+    n_b: int
+    m_a: int
+    m_b: int
+    q_a: int
+    q_b: int
+    iterations: int
+    d_avg: float = 8.0
+    d_max: int = 64
+    tree_level_width: float = 16.0
+    rank: int = 10
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Dominant-term time/space model for one algorithm (one Table 1 row)."""
+
+    name: str
+    time_formula: str
+    space_formula: str
+    time: Callable[[InstanceParams], float]
+    space_bytes: Callable[[InstanceParams], float]
+
+
+def _embedding_width(p: InstanceParams) -> float:
+    """The paper's ``l = min(2^K, n_A, n_B)``."""
+    return float(min(2 ** min(p.iterations, 62), p.n_a, p.n_b))
+
+
+def _log2_ceil(value: float) -> float:
+    from math import ceil, log2
+
+    return float(max(1, ceil(log2(max(value, 2.0)))))
+
+
+COST_MODELS: dict[str, CostModel] = {
+    "gsim+": CostModel(
+        name="GSim+",
+        time_formula="O(l (m_A + m_B + |Q_A||Q_B|)), l = min(2^K, n_A, n_B)",
+        space_formula="O(min(l (n_A + n_B), n_A n_B))",
+        # Once 2^k reaches min(n_A, n_B) the algorithm reverts to the dense
+        # GSim update (paper §5.2.1 point 6), so neither time nor space
+        # ever exceeds GSim's.
+        time=lambda p: min(
+            _embedding_width(p) * (p.m_a + p.m_b + p.q_a * p.q_b),
+            (p.m_a * p.n_b + p.m_b * p.n_a) * p.iterations
+            + p.q_a * p.q_b,
+        ),
+        space_bytes=lambda p: _FLOAT64_BYTES
+        * min(_embedding_width(p) * (p.n_a + p.n_b), p.n_a * p.n_b),
+    ),
+    "gsvd": CostModel(
+        name="GSVD",
+        time_formula="O(r (m_A + m_B + n_A r + n_B r))",
+        space_formula="O(n_A n_B)",
+        time=lambda p: p.rank
+        * (p.m_a + p.m_b + p.n_a * p.rank + p.n_b * p.rank)
+        * p.iterations,
+        space_bytes=lambda p: _FLOAT64_BYTES * p.n_a * p.n_b,
+    ),
+    "gsim": CostModel(
+        name="GSim",
+        time_formula="O(m_A n_B + m_B n_A) per iteration",
+        space_formula="O(n_A n_B)",
+        time=lambda p: (p.m_a * p.n_b + p.m_b * p.n_a) * p.iterations,
+        space_bytes=lambda p: _FLOAT64_BYTES * p.n_a * p.n_b,
+    ),
+    "rsim": CostModel(
+        name="RSim",
+        time_formula="O(k (n_A + n_B)^2 d log d)",
+        space_formula="O((n_A + n_B)^2)",
+        time=lambda p: p.iterations
+        * (p.n_a + p.n_b) ** 2
+        * p.d_avg
+        * _log2_ceil(p.d_avg),
+        space_bytes=lambda p: _FLOAT64_BYTES * (p.n_a + p.n_b) ** 2,
+    ),
+    "ned": CostModel(
+        name="NED",
+        time_formula="O(|Q_A||Q_B| k L^3)",
+        space_formula="O(d^(k+1))",
+        # The harness caps NED's tree depth at 3 (deeper trees explode on
+        # every non-trivial graph); the model predicts that effective depth.
+        time=lambda p: p.q_a
+        * p.q_b
+        * min(p.iterations, 3)
+        * p.tree_level_width**3,
+        space_bytes=lambda p: _FLOAT64_BYTES
+        * min(p.d_avg ** (min(p.iterations, 3) + 1), 1e18),
+    ),
+    "ss-bc": CostModel(
+        name="SS-BC*",
+        time_formula="O(|Q_A||Q_B| k log D)",
+        space_formula="O(k (n_A + n_B) log D)",
+        time=lambda p: p.q_a * p.q_b * p.iterations * _log2_ceil(p.d_max),
+        space_bytes=lambda p: _FLOAT64_BYTES
+        * p.iterations
+        * (p.n_a + p.n_b)
+        * _log2_ceil(p.d_max),
+    ),
+}
+
+
+def predict_cost(algorithm: str, params: InstanceParams) -> tuple[float, float]:
+    """Return ``(time_units, space_bytes)`` predicted for ``algorithm``.
+
+    ``algorithm`` is a key of :data:`COST_MODELS` (case-insensitive).
+    """
+    key = algorithm.lower()
+    if key not in COST_MODELS:
+        raise KeyError(
+            f"unknown algorithm {algorithm!r}; choose from {sorted(COST_MODELS)}"
+        )
+    model = COST_MODELS[key]
+    return model.time(params), model.space_bytes(params)

@@ -1,0 +1,227 @@
+"""Exact low-rank outer-product representations ("low-embeddings").
+
+The paper's key data structure is the pair of slender factor matrices
+``U (n_A x w)`` and ``V (n_B x w)`` representing the unnormalised similarity
+``Z = U @ V.T`` (footnote 1 of the paper).  This module packages that pair
+together with a scalar log-scale used to keep float64 magnitudes bounded
+over many iterations (DESIGN.md §7): the represented matrix is
+
+    Z = exp(log_scale) * U @ V.T
+
+Scalar rescaling commutes with the final Frobenius normalisation, so all
+similarity outputs are unaffected by it.
+
+Everything that can be computed without materialising ``U @ V.T`` is: the
+Frobenius norm uses the Gram-trick
+``||U V^T||_F^2 = sum((U^T U) * (V^T V))`` and inner products between two
+factored matrices use ``<U1 V1^T, U2 V2^T> = sum((U1^T U2) * (V1^T V2))``,
+both ``O((n_A + n_B) w^2)`` instead of ``O(n_A n_B w)``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["LowRankFactors"]
+
+
+class LowRankFactors:
+    """An exact factored matrix ``Z = exp(log_scale) * U @ V.T``.
+
+    Parameters
+    ----------
+    u:
+        Left factor, shape ``(n_rows, width)``.
+    v:
+        Right factor, shape ``(n_cols, width)``.
+    log_scale:
+        Natural log of the positive scalar multiplier (default 0 = 1.0).
+
+    The constructor copies nothing; callers hand over ownership of the
+    arrays.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> factors = LowRankFactors(np.ones((3, 1)), 2.0 * np.ones((4, 1)))
+    >>> factors.shape, factors.width
+    ((3, 4), 1)
+    >>> round(factors.frobenius_norm(), 6)   # ||2 * ones(3x4)||_F
+    6.928203
+    >>> factors.query_block([0], [1, 2])
+    array([[2., 2.]])
+    """
+
+    __slots__ = ("u", "v", "log_scale")
+
+    def __init__(self, u: np.ndarray, v: np.ndarray, log_scale: float = 0.0) -> None:
+        u = np.atleast_2d(np.asarray(u, dtype=np.float64))
+        v = np.atleast_2d(np.asarray(v, dtype=np.float64))
+        if u.ndim != 2 or v.ndim != 2:
+            raise ValueError("factors must be 2-D arrays")
+        if u.shape[1] != v.shape[1]:
+            raise ValueError(
+                f"factor widths differ: U has {u.shape[1]} columns, "
+                f"V has {v.shape[1]}"
+            )
+        self.u = u
+        self.v = v
+        self.log_scale = float(log_scale)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def ones(cls, n_rows: int, n_cols: int) -> "LowRankFactors":
+        """The rank-1 all-ones matrix ``1_{n_rows} 1_{n_cols}^T`` (= Z_0)."""
+        if n_rows < 1 or n_cols < 1:
+            raise ValueError("dimensions must be positive")
+        return cls(np.ones((n_rows, 1)), np.ones((n_cols, 1)))
+
+    # ------------------------------------------------------------------
+    # Shape
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Shape of the represented matrix ``(n_rows, n_cols)``."""
+        return (self.u.shape[0], self.v.shape[0])
+
+    @property
+    def width(self) -> int:
+        """Number of factor columns (the embedding dimension ``w``)."""
+        return self.u.shape[1]
+
+    @property
+    def scale(self) -> float:
+        """The scalar multiplier ``exp(log_scale)`` (may overflow for huge
+        log_scale; use :attr:`log_scale` for reporting in that regime)."""
+        return math.exp(self.log_scale)
+
+    def memory_bytes(self) -> int:
+        """Bytes held by the two factor arrays."""
+        return self.u.nbytes + self.v.nbytes
+
+    # ------------------------------------------------------------------
+    # Factored algebra (never materialises U @ V.T)
+    # ------------------------------------------------------------------
+    def frobenius_norm(self, include_scale: bool = True) -> float:
+        """``||Z||_F`` via the Gram trick in ``O((n_rows+n_cols) w^2)``.
+
+        With ``include_scale=False`` the scalar multiplier is ignored,
+        which is what the final normalisation step needs (the scale cancels
+        there anyway).
+        """
+        gram_u = self.u.T @ self.u
+        gram_v = self.v.T @ self.v
+        squared = float(np.sum(gram_u * gram_v))
+        # Tiny negatives can appear from rounding; clamp.
+        norm = math.sqrt(max(squared, 0.0))
+        if include_scale and self.log_scale != 0.0:
+            norm *= math.exp(self.log_scale)
+        return norm
+
+    def inner_product(self, other: "LowRankFactors") -> float:
+        """Frobenius inner product ``<Z_self, Z_other>`` in factored form."""
+        if self.shape != other.shape:
+            raise ValueError(f"shape mismatch: {self.shape} vs {other.shape}")
+        cross_u = self.u.T @ other.u
+        cross_v = self.v.T @ other.v
+        value = float(np.sum(cross_u * cross_v))
+        total_log = self.log_scale + other.log_scale
+        if total_log != 0.0:
+            value *= math.exp(total_log)
+        return value
+
+    def normalized_distance(self, other: "LowRankFactors") -> float:
+        """``|| self/||self|| - other/||other|| ||_F`` without materialising.
+
+        Used by the factored convergence test on even iterates.  Scales
+        cancel by construction.
+        """
+        norm_self = self.frobenius_norm(include_scale=False)
+        norm_other = other.frobenius_norm(include_scale=False)
+        if norm_self == 0.0 or norm_other == 0.0:
+            raise ZeroDivisionError("cannot normalise a zero matrix")
+        cross_u = self.u.T @ other.u
+        cross_v = self.v.T @ other.v
+        cosine = float(np.sum(cross_u * cross_v)) / (norm_self * norm_other)
+        # ||a - b||^2 = 2 - 2 cos for unit-norm a, b; clamp rounding noise.
+        return math.sqrt(max(2.0 - 2.0 * cosine, 0.0))
+
+    # ------------------------------------------------------------------
+    # Materialisation
+    # ------------------------------------------------------------------
+    def materialize(self, include_scale: bool = True) -> np.ndarray:
+        """The dense ``n_rows x n_cols`` matrix (allocates it!)."""
+        dense = self.u @ self.v.T
+        if include_scale and self.log_scale != 0.0:
+            dense *= math.exp(self.log_scale)
+        return dense
+
+    def query_block(
+        self,
+        row_index: np.ndarray | list[int],
+        col_index: np.ndarray | list[int],
+        include_scale: bool = True,
+    ) -> np.ndarray:
+        """The sub-block ``Z[rows, cols]`` (Algorithm 1 line 6).
+
+        Costs ``O((|rows| + |cols|) w + |rows| |cols| w)`` — never touches
+        the full matrix.
+        """
+        rows = np.asarray(row_index, dtype=np.int64)
+        cols = np.asarray(col_index, dtype=np.int64)
+        if rows.size and (rows.min() < 0 or rows.max() >= self.shape[0]):
+            raise IndexError("row index out of range")
+        if cols.size and (cols.min() < 0 or cols.max() >= self.shape[1]):
+            raise IndexError("column index out of range")
+        block = self.u[rows] @ self.v[cols].T
+        if include_scale and self.log_scale != 0.0:
+            block *= math.exp(self.log_scale)
+        return block
+
+    # ------------------------------------------------------------------
+    # Conditioning
+    # ------------------------------------------------------------------
+    def rescaled(self) -> "LowRankFactors":
+        """Return an equivalent representation with factor magnitudes ~1.
+
+        Divides each factor by its max absolute entry and folds the product
+        of the two divisors into ``log_scale``.  Applied once per iteration
+        by the solver to keep float64 in range over hundreds of iterations.
+        """
+        max_u = float(np.abs(self.u).max(initial=0.0))
+        max_v = float(np.abs(self.v).max(initial=0.0))
+        if max_u == 0.0 or max_v == 0.0:
+            return LowRankFactors(self.u.copy(), self.v.copy(), self.log_scale)
+        return LowRankFactors(
+            self.u / max_u,
+            self.v / max_v,
+            self.log_scale + math.log(max_u) + math.log(max_v),
+        )
+
+    def compressed(self) -> "LowRankFactors":
+        """Losslessly shrink the width to ``min(width, n_rows, n_cols)``.
+
+        Uses a thin QR of the wider factor to fold redundant columns into
+        the other factor: ``U V^T = Q_U (V R_U^T)^T``.  Exact up to float
+        rounding; used by the ``qr-compress`` rank-cap ablation.
+        """
+        n_rows, n_cols = self.shape
+        target = min(n_rows, n_cols)
+        if self.width <= target:
+            return LowRankFactors(self.u.copy(), self.v.copy(), self.log_scale)
+        if n_rows <= n_cols:
+            # Compress through the U side: U = Q R, new U = Q (n_rows x n_rows).
+            q, r = np.linalg.qr(self.u)
+            return LowRankFactors(q, self.v @ r.T, self.log_scale)
+        q, r = np.linalg.qr(self.v)
+        return LowRankFactors(self.u @ r.T, q, self.log_scale)
+
+    def __repr__(self) -> str:
+        return (
+            f"LowRankFactors(shape={self.shape}, width={self.width}, "
+            f"log_scale={self.log_scale:.3g})"
+        )

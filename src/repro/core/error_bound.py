@@ -1,0 +1,147 @@
+"""Theorem 4.2 — spectral error bound for the GSim+/GSim iteration.
+
+For an even iteration count ``k``::
+
+    ||S_k - S||_F  <=  (|lambda_2| / |lambda_1|)^k * C,
+    C = sqrt(sum_{i>=2} c_i^2) / |c_1|,   c = W^T 1_n
+
+where ``lambda_i`` / ``W`` are the eigenvalues / orthonormal eigenvectors of
+the symmetric matrix ``M = B (x) A + (B (x) A)^T`` of order
+``n = n_A * n_B``, and ``S`` is the exact fixed point (the dominant
+eigenvector of ``M`` reshaped to ``n_A x n_B``, up to sign).
+
+Because ``M`` has ``n_A n_B`` rows these routines are meant for the small
+profiles used by the accuracy experiment (§5.2.3); they exist to *validate*
+the bound, not to run at billion scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.graphs.graph import Graph
+from repro.utils.validation import check_positive_integer
+
+__all__ = [
+    "error_bound",
+    "exact_similarity_spectral",
+    "kronecker_similarity_matrix",
+    "spectral_gap",
+]
+
+# Above this order we refuse to densify M for the full eigendecomposition.
+_DENSE_EIG_LIMIT = 4_000
+
+
+def kronecker_similarity_matrix(graph_a: Graph, graph_b: Graph) -> sp.csr_matrix:
+    """The symmetric iteration matrix ``M = B (x) A + (B (x) A)^T``.
+
+    ``vec(A X B^T + A^T X B) = M vec(X)`` with column-major (Fortran) vec,
+    which is the convention used throughout this module.
+    """
+    kron = sp.kron(graph_b.adjacency, graph_a.adjacency, format="csr")
+    return (kron + kron.T).tocsr()
+
+
+def spectral_gap(graph_a: Graph, graph_b: Graph) -> tuple[float, float]:
+    """Return ``(|lambda_1|, |lambda_2|)`` of ``M`` (largest magnitudes).
+
+    Uses sparse Lanczos (``eigsh``) when ``M`` is large, dense ``eigh``
+    otherwise.  Falls back to dense when Lanczos fails to converge.
+    """
+    matrix = kronecker_similarity_matrix(graph_a, graph_b)
+    order = matrix.shape[0]
+    if order <= 2:
+        eigenvalues = np.linalg.eigvalsh(matrix.toarray())
+        magnitudes = np.sort(np.abs(eigenvalues))[::-1]
+        second = float(magnitudes[1]) if order == 2 else 0.0
+        return float(magnitudes[0]), second
+    if order <= _DENSE_EIG_LIMIT:
+        eigenvalues = np.linalg.eigvalsh(matrix.toarray())
+    else:
+        try:
+            eigenvalues = spla.eigsh(
+                matrix, k=2, which="LM", return_eigenvectors=False
+            )
+        except spla.ArpackNoConvergence as exc:  # pragma: no cover - rare
+            eigenvalues = exc.eigenvalues
+            if eigenvalues is None or len(eigenvalues) < 2:
+                raise
+    magnitudes = np.sort(np.abs(eigenvalues))[::-1]
+    return float(magnitudes[0]), float(magnitudes[1])
+
+
+def _full_spectrum(graph_a: Graph, graph_b: Graph) -> tuple[np.ndarray, np.ndarray]:
+    """Full (eigenvalues, eigenvectors) of M, dense path with a size guard."""
+    matrix = kronecker_similarity_matrix(graph_a, graph_b)
+    order = matrix.shape[0]
+    if order > _DENSE_EIG_LIMIT:
+        raise ValueError(
+            f"full spectrum of M requires order <= {_DENSE_EIG_LIMIT}, got {order}; "
+            "use spectral_gap() for large instances"
+        )
+    eigenvalues, eigenvectors = np.linalg.eigh(matrix.toarray())
+    # Sort by decreasing magnitude to match the paper's |λ1| >= |λ2| >= ...
+    order_idx = np.argsort(-np.abs(eigenvalues))
+    return eigenvalues[order_idx], eigenvectors[:, order_idx]
+
+
+def error_bound(graph_a: Graph, graph_b: Graph, iterations: int) -> float:
+    """Evaluate the Theorem 4.2 bound ``(|λ2|/|λ1|)^k * C`` for even ``k``.
+
+    Raises
+    ------
+    ValueError
+        If ``iterations`` is odd (the theorem covers even iterates, the
+        convergent subsequence of the GSim power iteration), or if the
+        dominant coefficient ``c_1`` vanishes (the bound is undefined: the
+        all-ones start vector has no component along the dominant
+        eigenvector).
+    """
+    iterations = check_positive_integer(iterations, "iterations")
+    if iterations % 2 != 0:
+        raise ValueError(
+            f"Theorem 4.2 applies to even iteration counts, got {iterations}"
+        )
+    eigenvalues, eigenvectors = _full_spectrum(graph_a, graph_b)
+    n = eigenvalues.size
+    coefficients = eigenvectors.T @ np.ones(n)
+    c1 = float(coefficients[0])
+    if abs(c1) < 1e-12:
+        raise ValueError(
+            "dominant coefficient c_1 is (numerically) zero; "
+            "the Theorem 4.2 bound is undefined for this graph pair"
+        )
+    tail = float(np.sqrt(np.sum(coefficients[1:] ** 2)))
+    constant = tail / abs(c1)
+    lambda1 = abs(float(eigenvalues[0]))
+    lambda2 = abs(float(eigenvalues[1])) if n > 1 else 0.0
+    if lambda1 == 0.0:
+        return 0.0
+    return (lambda2 / lambda1) ** iterations * constant
+
+
+def exact_similarity_spectral(graph_a: Graph, graph_b: Graph) -> np.ndarray:
+    """The exact GSim fixed point ``S`` from the dominant eigenvector of M.
+
+    The limit of the even iterates is ``(c_1 / |c_1|) w_1`` reshaped to
+    ``n_A x n_B`` column-major and scaled to unit Frobenius norm.  Only
+    valid on small instances (order <= 4000); the accuracy experiments use
+    the paper's alternative definition (GSim run for 100 iterations) on
+    anything larger.
+    """
+    eigenvalues, eigenvectors = _full_spectrum(graph_a, graph_b)
+    del eigenvalues
+    n_a, n_b = graph_a.num_nodes, graph_b.num_nodes
+    dominant = eigenvectors[:, 0]
+    c1 = float(dominant @ np.ones(dominant.size))
+    if abs(c1) < 1e-12:
+        raise ValueError(
+            "the all-ones start vector is orthogonal to the dominant "
+            "eigenvector; the power iteration limit is degenerate"
+        )
+    oriented = np.sign(c1) * dominant
+    matrix = oriented.reshape((n_a, n_b), order="F")
+    return matrix / np.linalg.norm(matrix)

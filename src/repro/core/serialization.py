@@ -1,0 +1,60 @@
+"""Persistence for precomputed low-embeddings.
+
+Iterating GSim+ on a big graph costs minutes; answering query blocks from
+the resulting factors costs milliseconds.  Persisting the factors turns
+GSim+ into an *index*: compute ``U_K / V_K`` once, then serve arbitrary
+``(Q_A, Q_B)`` retrievals from disk-backed state.
+
+Format: a single ``.npz`` holding ``u``, ``v``, ``log_scale``, and a
+format-version tag (rejected on mismatch so stale indexes fail loudly).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.embeddings import LowRankFactors
+
+__all__ = ["load_factors", "save_factors"]
+
+_FORMAT_VERSION = 1
+
+
+def save_factors(factors: LowRankFactors, path: str | Path) -> None:
+    """Write ``factors`` to ``path`` as a compressed ``.npz``."""
+    path = Path(path)
+    np.savez_compressed(
+        path,
+        u=factors.u,
+        v=factors.v,
+        log_scale=np.float64(factors.log_scale),
+        format_version=np.int64(_FORMAT_VERSION),
+    )
+
+
+def load_factors(path: str | Path) -> LowRankFactors:
+    """Read factors previously written by :func:`save_factors`.
+
+    Raises
+    ------
+    ValueError
+        If the file lacks the expected arrays or carries a different
+        format version.
+    """
+    path = Path(path)
+    with np.load(path) as archive:
+        missing = {"u", "v", "log_scale", "format_version"} - set(archive.files)
+        if missing:
+            raise ValueError(f"{path} is not a factors file (missing {sorted(missing)})")
+        version = int(archive["format_version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"{path} has format version {version}, expected {_FORMAT_VERSION}"
+            )
+        return LowRankFactors(
+            archive["u"].copy(),
+            archive["v"].copy(),
+            float(archive["log_scale"]),
+        )

@@ -1,0 +1,19 @@
+"""Evolving-graph support.
+
+The paper's related work spans evolving graphs (Yu & Wang 2018, "Fast
+Exact CoSimRank Search on Evolving and Static Graphs"); production
+similarity services face the same need: graphs change, and similarity
+state must stay consistent with them.
+
+* :class:`repro.dynamic.graph.DynamicGraph` — a mutable edge set with
+  cheap batched updates and snapshotting to the immutable
+  :class:`repro.graphs.Graph` the solvers consume.
+* :class:`repro.dynamic.session.SimilaritySession` — version-tracked
+  GSim+ state over a pair of dynamic graphs: factors are recomputed
+  lazily on first query after a change and reused until the next one.
+"""
+
+from repro.dynamic.graph import DynamicGraph
+from repro.dynamic.session import SimilaritySession
+
+__all__ = ["DynamicGraph", "SimilaritySession"]

@@ -1,0 +1,139 @@
+"""A mutable directed graph with cheap snapshots.
+
+``DynamicGraph`` keeps edges in a dict (``(src, dst) -> weight``) so
+inserts/deletes are O(1), and materialises an immutable
+:class:`repro.graphs.Graph` snapshot on demand.  A monotonically
+increasing ``version`` lets downstream caches (the similarity session)
+detect staleness without comparing edge sets.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.graphs.graph import Graph
+from repro.utils.validation import check_nonnegative_integer
+
+__all__ = ["DynamicGraph"]
+
+
+class DynamicGraph:
+    """A mutable directed graph over nodes ``0 .. num_nodes-1``.
+
+    Examples
+    --------
+    >>> g = DynamicGraph(3)
+    >>> g.add_edge(0, 1)
+    >>> g.add_edge(1, 2, weight=2.0)
+    >>> g.num_edges
+    2
+    >>> g.remove_edge(0, 1)
+    >>> g.snapshot().num_edges
+    1
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        edges: Iterable[tuple[int, int]] | Iterable[tuple[int, int, float]] = (),
+    ) -> None:
+        self._num_nodes = check_nonnegative_integer(num_nodes, "num_nodes")
+        self._edges: dict[tuple[int, int], float] = {}
+        self._version = 0
+        self._snapshot: Graph | None = None
+        for edge in edges:
+            if len(edge) == 2:
+                src, dst = edge  # type: ignore[misc]
+                self.add_edge(int(src), int(dst))
+            else:
+                src, dst, weight = edge  # type: ignore[misc]
+                self.add_edge(int(src), int(dst), weight=float(weight))
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_edge(self, src: int, dst: int, weight: float = 1.0) -> None:
+        """Insert (or overwrite) the edge ``src -> dst``."""
+        self._check_node(src)
+        self._check_node(dst)
+        if weight == 0.0:
+            raise ValueError("edge weight must be non-zero; use remove_edge")
+        self._edges[(src, dst)] = float(weight)
+        self._bump()
+
+    def remove_edge(self, src: int, dst: int) -> None:
+        """Delete the edge ``src -> dst``; KeyError if absent."""
+        try:
+            del self._edges[(src, dst)]
+        except KeyError:
+            raise KeyError(f"edge ({src}, {dst}) does not exist") from None
+        self._bump()
+
+    def add_edges(self, edges: Iterable[tuple[int, int]]) -> None:
+        """Batch insert; one version bump for the whole batch."""
+        for src, dst in edges:
+            self._check_node(src)
+            self._check_node(dst)
+            self._edges[(int(src), int(dst))] = 1.0
+        self._bump()
+
+    def add_node(self) -> int:
+        """Append one node; returns its id."""
+        self._num_nodes += 1
+        self._bump()
+        return self._num_nodes - 1
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Current node count."""
+        return self._num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        """Current edge count."""
+        return len(self._edges)
+
+    @property
+    def version(self) -> int:
+        """Monotone counter, bumped on every mutation."""
+        return self._version
+
+    def has_edge(self, src: int, dst: int) -> bool:
+        """Whether the edge currently exists."""
+        return (src, dst) in self._edges
+
+    def edges(self) -> Iterator[tuple[int, int, float]]:
+        """Iterate current ``(src, dst, weight)`` triples (sorted)."""
+        for (src, dst), weight in sorted(self._edges.items()):
+            yield src, dst, weight
+
+    # ------------------------------------------------------------------
+    # Snapshotting
+    # ------------------------------------------------------------------
+    def snapshot(self, name: str = "dynamic") -> Graph:
+        """An immutable :class:`Graph` of the current state (cached until
+        the next mutation)."""
+        if self._snapshot is None:
+            self._snapshot = Graph.from_edges(
+                self._num_nodes, list(self.edges()), name=f"{name}-v{self._version}"
+            )
+        return self._snapshot
+
+    def _bump(self) -> None:
+        self._version += 1
+        self._snapshot = None
+
+    def _check_node(self, node: int) -> None:
+        if not (0 <= node < self._num_nodes):
+            raise IndexError(
+                f"node {node} out of range for {self._num_nodes} nodes"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"DynamicGraph(nodes={self._num_nodes}, edges={self.num_edges}, "
+            f"version={self._version})"
+        )

@@ -1,0 +1,70 @@
+"""Export experiment records for external plotting/analysis.
+
+The figure drivers return :class:`repro.experiments.runner.RunRecord`
+lists; these helpers serialise them as CSV or JSON so the series can be
+re-plotted (matplotlib, gnuplot, a notebook) without re-running anything.
+Failure cells keep their outcome labels, mirroring the text reports.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable, TextIO
+
+from repro.experiments.runner import RunRecord
+
+__all__ = ["records_to_csv", "records_to_json", "write_csv", "write_json"]
+
+_FIELDS = [
+    "algorithm",
+    "dataset",
+    "outcome",
+    "seconds",
+    "memory_bytes",
+    "predicted_seconds",
+    "predicted_bytes",
+    "note",
+]
+_PARAM_FIELDS = ["n_a", "n_b", "m_a", "m_b", "q_a", "q_b", "k"]
+
+
+def _record_row(record: RunRecord) -> dict[str, object]:
+    row: dict[str, object] = {
+        "algorithm": record.algorithm,
+        "dataset": record.dataset,
+        "outcome": record.outcome.value,
+        "seconds": record.seconds,
+        "memory_bytes": record.memory_bytes,
+        "predicted_seconds": record.predicted_seconds,
+        "predicted_bytes": record.predicted_bytes,
+        "note": record.note,
+    }
+    for field in _PARAM_FIELDS:
+        row[field] = record.params.get(field)
+    return row
+
+
+def records_to_csv(records: Iterable[RunRecord], handle: TextIO) -> None:
+    """Write records as CSV to an open text handle."""
+    writer = csv.DictWriter(handle, fieldnames=_FIELDS + _PARAM_FIELDS)
+    writer.writeheader()
+    for record in records:
+        writer.writerow(_record_row(record))
+
+
+def records_to_json(records: Iterable[RunRecord]) -> str:
+    """Serialise records as a JSON array string."""
+    return json.dumps([_record_row(r) for r in records], indent=2)
+
+
+def write_csv(records: Iterable[RunRecord], path: str | Path) -> None:
+    """Write records as a CSV file."""
+    with Path(path).open("w", encoding="utf-8", newline="") as handle:
+        records_to_csv(records, handle)
+
+
+def write_json(records: Iterable[RunRecord], path: str | Path) -> None:
+    """Write records as a JSON file."""
+    Path(path).write_text(records_to_json(records), encoding="utf-8")

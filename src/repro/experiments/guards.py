@@ -1,0 +1,103 @@
+"""Resource guards — deterministic stand-ins for the paper's failures.
+
+The paper's evaluation reports two failure modes on its 256 GB testbed:
+algorithms that *crash* (GSim/GSVD/RSim exhausting memory on the larger
+graphs) and algorithms that *fail to yield results within one day*
+(NED, RSim at larger k).  Reproducing those by actually exhausting this
+container's RAM or spending a day per cell would be wasteful and flaky, so
+the harness predicts resource usage with the Table 1 cost models
+(:mod:`repro.core.complexity`) *before* launching a run:
+
+* a predicted working set above :class:`MemoryBudget` raises
+  :class:`MemoryBudgetExceeded` → recorded as ``OOM``;
+* a predicted runtime above :class:`Deadline` raises
+  :class:`DeadlineExceeded` → recorded as ``TIMEOUT``.
+
+Runs that pass the prediction gate execute for real and are measured with
+:class:`repro.utils.timing.Stopwatch` / tracemalloc.  DESIGN.md §4 records
+this substitution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.deadline import DeadlineExceeded, WallClockDeadline
+from repro.utils.memory import format_bytes
+
+__all__ = [
+    "Deadline",
+    "DeadlineExceeded",
+    "MemoryBudget",
+    "MemoryBudgetExceeded",
+    "WallClockDeadline",
+]
+
+
+class MemoryBudgetExceeded(RuntimeError):
+    """Predicted working set exceeds the experiment's memory budget."""
+
+
+@dataclass(frozen=True)
+class MemoryBudget:
+    """A byte ceiling for one experiment cell.
+
+    The default of 256 MiB is calibrated so that, on the ``small`` scale
+    profile, the dense baselines survive the scaled HP and EE datasets but
+    crash on WT/UK/IT — the same survival pattern as the paper's Figure 6
+    at full scale (where the wall sits between EE's 21 GB and WT's 192 GB
+    dense similarity matrix).
+    """
+
+    limit_bytes: int = 256 * 1024 * 1024
+
+    def check(self, predicted_bytes: float, what: str) -> None:
+        """Raise :class:`MemoryBudgetExceeded` when over budget."""
+        if predicted_bytes > self.limit_bytes:
+            raise MemoryBudgetExceeded(
+                f"{what}: predicted {format_bytes(predicted_bytes)} exceeds "
+                f"budget {format_bytes(self.limit_bytes)}"
+            )
+
+    def allows(self, predicted_bytes: float) -> bool:
+        """Non-raising variant of :meth:`check`."""
+        return predicted_bytes <= self.limit_bytes
+
+
+@dataclass(frozen=True)
+class Deadline:
+    """A wall-clock ceiling for one experiment cell.
+
+    ``limit_seconds`` plays the role of the paper's "one day"; the default
+    of 20 s keeps full figure regeneration to minutes on this hardware
+    while preserving which algorithms do and do not finish.
+
+    Enforcement is two-stage.  The *predictive* stage
+    (:meth:`check_predicted`) vetoes a run outright only when the cost
+    model predicts at least ``predictive_factor`` times the budget —
+    cost models are worst-case, so borderline cells still get attempted.
+    Attempted cells run under a cooperative
+    :class:`repro.utils.deadline.WallClockDeadline` armed via :meth:`arm`,
+    which stops them at the real limit.
+    """
+
+    limit_seconds: float = 20.0
+    predictive_factor: float = 30.0
+
+    def check_predicted(self, predicted_seconds: float, what: str) -> None:
+        """Raise :class:`DeadlineExceeded` for clearly hopeless cells."""
+        ceiling = self.limit_seconds * self.predictive_factor
+        if predicted_seconds > ceiling:
+            raise DeadlineExceeded(
+                f"{what}: predicted {predicted_seconds:.1f}s exceeds "
+                f"{ceiling:.0f}s ({self.predictive_factor:.0f}x the "
+                f"{self.limit_seconds:.1f}s budget)"
+            )
+
+    def arm(self) -> WallClockDeadline:
+        """Start a cooperative wall-clock deadline for one run."""
+        return WallClockDeadline(self.limit_seconds)
+
+    def allows(self, predicted_seconds: float) -> bool:
+        """Whether the predictive stage would let this cell run."""
+        return predicted_seconds <= self.limit_seconds * self.predictive_factor

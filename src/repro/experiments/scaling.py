@@ -1,0 +1,123 @@
+"""Scalability study: measured scaling exponents for GSim+.
+
+The paper's §5.2.1 claims "GSim+ time rises in proportion to the size
+|G_A|", i.e. a log-log slope of ~1 against edges, as Theorem 4.1 predicts
+(time ``O(l (m_A + m_B + |Q_A||Q_B|))`` is linear in edges at fixed ``l``
+and query size).  This driver measures that slope directly on a geometric
+sweep of synthetic graphs, providing the quantitative backing for the
+"billion-scale" extrapolation a reduced-scale reproduction cannot run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.gsim_plus import gsim_plus
+from repro.graphs.generators import rmat_graph
+from repro.graphs.sampling import random_node_sample
+from repro.utils.rng import spawn_rngs
+from repro.utils.timing import time_call
+from repro.workloads.queries import make_workload
+
+__all__ = ["ScalingPoint", "ScalingStudy", "fit_scaling_exponent", "scaling_study"]
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One measured point of the scaling curve."""
+
+    nodes: int
+    edges: int
+    seconds: float
+
+
+@dataclass(frozen=True)
+class ScalingStudy:
+    """A measured scaling curve plus its fitted log-log exponent."""
+
+    points: tuple[ScalingPoint, ...]
+    exponent: float
+
+    def is_near_linear(self, tolerance: float = 0.5) -> bool:
+        """Whether the fitted exponent is within ``tolerance`` of 1."""
+        return abs(self.exponent - 1.0) <= tolerance
+
+
+def fit_scaling_exponent(sizes: np.ndarray, seconds: np.ndarray) -> float:
+    """Least-squares slope of ``log(seconds)`` against ``log(sizes)``.
+
+    >>> import numpy as np
+    >>> float(round(fit_scaling_exponent(
+    ...     np.array([1e3, 1e4, 1e5]), np.array([0.01, 0.1, 1.0])), 3))
+    1.0
+    """
+    sizes = np.asarray(sizes, dtype=np.float64)
+    seconds = np.asarray(seconds, dtype=np.float64)
+    if sizes.size != seconds.size or sizes.size < 2:
+        raise ValueError("need at least two matched (size, seconds) points")
+    if (sizes <= 0).any() or (seconds <= 0).any():
+        raise ValueError("sizes and seconds must be positive for a log-log fit")
+    slope, _ = np.polyfit(np.log(sizes), np.log(seconds), 1)
+    return float(slope)
+
+
+def scaling_study(
+    scales: tuple[int, ...] = (9, 10, 11, 12, 13),
+    edges_per_node: float = 12.0,
+    iterations: int = 7,
+    query_size: int = 100,
+    sample_size: int = 256,
+    seed: int = 7,
+    repeats: int = 3,
+) -> ScalingStudy:
+    """Measure GSim+ wall time on a geometric sweep of R-MAT graphs.
+
+    Parameters
+    ----------
+    scales:
+        R-MAT scales; graph ``i`` has ``2**scales[i]`` nodes.
+    repeats:
+        Each point is measured ``repeats`` times; the minimum is kept
+        (standard practice: the minimum is the least noisy estimator of
+        intrinsic cost).
+
+    Returns
+    -------
+    ScalingStudy
+        Points plus the fitted edges-vs-time exponent.
+    """
+    if len(scales) < 2:
+        raise ValueError("need at least two scales to fit an exponent")
+    points = []
+    for index, scale in enumerate(scales):
+        graph_rng, sample_rng, query_rng = spawn_rngs(seed + index, 3)
+        nodes = 1 << scale
+        graph_a = rmat_graph(scale, int(edges_per_node * nodes), seed=graph_rng)
+        graph_b = random_node_sample(
+            graph_a, min(sample_size, graph_a.num_nodes // 2), seed=sample_rng
+        )
+        workload = make_workload(
+            graph_a, graph_b, query_size, query_size, seed=query_rng
+        )
+        best = np.inf
+        for _ in range(repeats):
+            _, seconds = time_call(
+                gsim_plus,
+                graph_a,
+                graph_b,
+                iterations=iterations,
+                queries_a=workload.queries_a,
+                queries_b=workload.queries_b,
+            )
+            best = min(best, seconds)
+        points.append(
+            ScalingPoint(nodes=graph_a.num_nodes, edges=graph_a.num_edges,
+                         seconds=float(best))
+        )
+    exponent = fit_scaling_exponent(
+        np.array([p.edges for p in points], dtype=np.float64),
+        np.array([p.seconds for p in points], dtype=np.float64),
+    )
+    return ScalingStudy(points=tuple(points), exponent=exponent)

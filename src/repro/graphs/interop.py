@@ -1,0 +1,71 @@
+"""NetworkX interoperability.
+
+Most Python graph pipelines speak NetworkX; these converters move graphs
+between ``networkx.DiGraph`` and :class:`repro.graphs.Graph` without
+losing weights.  NetworkX is an *optional* dependency: importing this
+module without it installed raises a clear error at call time, not at
+package import.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Hashable
+
+from repro.graphs.graph import Graph
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import networkx
+
+__all__ = ["from_networkx", "to_networkx"]
+
+
+def _require_networkx():
+    try:
+        import networkx
+    except ImportError as exc:  # pragma: no cover - env without networkx
+        raise ImportError(
+            "networkx is required for graph interop; pip install networkx"
+        ) from exc
+    return networkx
+
+
+def from_networkx(
+    nx_graph: "networkx.Graph",
+    weight_attribute: str = "weight",
+    name: str | None = None,
+) -> tuple[Graph, dict[Hashable, int]]:
+    """Convert a NetworkX (di)graph to a :class:`Graph`.
+
+    Node labels may be arbitrary hashables; they are relabelled to
+    ``0..n-1`` in NetworkX iteration order and the mapping is returned so
+    results can be translated back.  Undirected inputs become symmetric
+    directed graphs.  Edge weights are read from ``weight_attribute``
+    (default 1.0 when absent).
+
+    Returns
+    -------
+    (graph, labels)
+        The converted graph and the ``original label -> node id`` mapping.
+    """
+    networkx = _require_networkx()
+    labels = {node: index for index, node in enumerate(nx_graph.nodes())}
+    edges: list[tuple[int, int, float]] = []
+    for src, dst, data in nx_graph.edges(data=True):
+        weight = float(data.get(weight_attribute, 1.0))
+        edges.append((labels[src], labels[dst], weight))
+        if not nx_graph.is_directed():
+            edges.append((labels[dst], labels[src], weight))
+    graph = Graph.from_edges(
+        len(labels), edges, name=name or nx_graph.name or "networkx"
+    )
+    del networkx
+    return graph, labels
+
+
+def to_networkx(graph: Graph) -> "networkx.DiGraph":
+    """Convert a :class:`Graph` to a ``networkx.DiGraph`` with weights."""
+    networkx = _require_networkx()
+    nx_graph = networkx.DiGraph(name=graph.name)
+    nx_graph.add_nodes_from(range(graph.num_nodes))
+    nx_graph.add_weighted_edges_from(graph.edges())
+    return nx_graph

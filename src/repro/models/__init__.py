@@ -1,0 +1,31 @@
+"""Related similarity models from the paper's introduction.
+
+The paper positions GSim among a family of link-based similarity measures
+(§1: "VertexSim, GSim, SimRank, SimSem, CoSimRank, SimRank#").  This
+subpackage implements the three classic ones so downstream users can
+compare model behaviour on the same :class:`repro.graphs.Graph` substrate:
+
+* :func:`simrank` — Jeh & Widom (2002): single-graph, in-neighbour
+  recursion with a damping factor; zero across disconnected components
+  (the contrast the paper's introduction draws with GSim).
+* :func:`cosimrank` — Rothe & Schütze (2014): personalised-PageRank inner
+  products; supports a documented *cross-graph* variant.
+* :func:`vertexsim` — Leicht, Holme & Newman (2006): Katz-style series
+  resolvent similarity on one graph.
+* :func:`hits` — Kleinberg (1999): hub/authority scores; GSim against the
+  2-node path reduces to HITS (verified by tests).
+"""
+
+from repro.models.cosimrank import cosimrank, cosimrank_cross
+from repro.models.hits import HITSResult, hits
+from repro.models.simrank import simrank
+from repro.models.vertexsim import vertexsim
+
+__all__ = [
+    "HITSResult",
+    "cosimrank",
+    "cosimrank_cross",
+    "hits",
+    "simrank",
+    "vertexsim",
+]

@@ -1,0 +1,93 @@
+"""CoSimRank — Rothe & Schütze (2014).
+
+CoSimRank scores a node pair by the damped sum of inner products of their
+personalised-PageRank vectors at every walk length::
+
+    s(a, b) = sum_{k >= 0} c^k  < p_k(a), p_k(b) >
+
+where ``p_0(a)`` is the indicator of ``a`` and ``p_{k+1} = P p_k`` with the
+row-normalised adjacency ``P``.  In matrix form over all pairs::
+
+    S = sum_k c^k (P^k)(P^k)^T      (single graph)
+    S = sum_k c^k (P_A^k)(P_B^k)^T  (cross-graph variant)
+
+The cross-graph form compares walk distributions of nodes in two
+different graphs — CoSimRank's original paper uses it for bilingual
+lexicon extraction, the same application family as GSim's synonym
+extraction, which is why it earns a place in this reproduction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graphs.graph import Graph
+from repro.utils.validation import check_nonnegative_integer, check_probability
+
+__all__ = ["cosimrank", "cosimrank_cross"]
+
+
+def _row_normalized(adjacency: sp.csr_matrix) -> sp.csr_matrix:
+    """``P`` with each nonzero row scaled to sum 1."""
+    out_degrees = np.asarray(adjacency.sum(axis=1)).ravel()
+    scale = np.divide(
+        1.0, out_degrees, out=np.zeros_like(out_degrees), where=out_degrees > 0
+    )
+    return (sp.diags(scale) @ adjacency).tocsr()
+
+
+def cosimrank_cross(
+    graph_a: Graph,
+    graph_b: Graph,
+    iterations: int = 10,
+    damping: float = 0.8,
+) -> np.ndarray:
+    """Cross-graph CoSimRank: ``sum_k c^k (P_A^k)(P_B^k)^T``.
+
+    Requires the two graphs to share a node-id alignment for the k = 0 term
+    to be meaningful; with unrelated id spaces the result still measures
+    walk-distribution overlap under the identity correspondence.
+
+    Returns the ``n_A x n_B`` score matrix.
+    """
+    iterations = check_nonnegative_integer(iterations, "iterations")
+    damping = check_probability(damping, "damping")
+    n_a, n_b = graph_a.num_nodes, graph_b.num_nodes
+    p_a = _row_normalized(graph_a.adjacency)
+    p_b = _row_normalized(graph_b.adjacency)
+    # walks_a[k] = P_A^k as dense columns of walk distributions.
+    walk_a = np.eye(n_a)
+    walk_b = np.eye(n_b)
+    common = min(n_a, n_b)
+    scores = np.zeros((n_a, n_b))
+    scores[:common, :common] = np.eye(common)  # k = 0 term
+    weight = 1.0
+    for _ in range(iterations):
+        walk_a = np.asarray(p_a @ walk_a)
+        walk_b = np.asarray(p_b @ walk_b)
+        weight *= damping
+        # p_k(a) is row a of P^k; the inner product sums over the walk
+        # *targets*, i.e. the shared column coordinates.
+        scores += weight * (walk_a[:, :common] @ walk_b[:, :common].T)
+        if weight < 1e-15:
+            break
+    return scores
+
+
+def cosimrank(
+    graph: Graph,
+    iterations: int = 10,
+    damping: float = 0.8,
+) -> np.ndarray:
+    """Single-graph CoSimRank: the cross variant with both sides equal.
+
+    Examples
+    --------
+    >>> from repro.graphs import Graph
+    >>> g = Graph.from_edges(3, [(0, 1), (2, 1)])
+    >>> s = cosimrank(g, iterations=4)
+    >>> bool(s[0, 2] > 0)   # 0 and 2 walk to the same place
+    True
+    """
+    return cosimrank_cross(graph, graph, iterations=iterations, damping=damping)

@@ -1,0 +1,70 @@
+"""HITS — Kleinberg (1999), the model GSim generalises.
+
+The paper's Related Work notes "GSim is inspired by Kleinberg's HITS that
+evaluates similarity from the graph dominant eigenvector".  Blondel et
+al.'s original construction makes the connection exact: running GSim
+between a graph ``G`` and the 2-node path ``1 -> 2`` yields, in the
+converged similarity matrix's two columns, the hub and authority scores of
+``G`` (up to normalisation).  The test suite verifies that reduction
+against this standalone implementation.
+
+The iteration is the classic mutual recursion::
+
+    a <- A^T h / ||.||      (authorities are pointed at by good hubs)
+    h <- A a   / ||.||      (hubs point at good authorities)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.utils.validation import check_nonnegative_integer
+
+__all__ = ["HITSResult", "hits"]
+
+
+@dataclass(frozen=True)
+class HITSResult:
+    """Hub and authority score vectors (each 2-norm normalised)."""
+
+    hubs: np.ndarray
+    authorities: np.ndarray
+
+
+def hits(graph: Graph, iterations: int = 50) -> HITSResult:
+    """Run HITS power iteration on one graph.
+
+    Examples
+    --------
+    >>> from repro.graphs import Graph
+    >>> g = Graph.from_edges(3, [(0, 2), (1, 2)])
+    >>> result = hits(g)
+    >>> int(np.argmax(result.authorities))   # node 2 is the authority
+    2
+    """
+    iterations = check_nonnegative_integer(iterations, "iterations")
+    n = graph.num_nodes
+    if n == 0:
+        return HITSResult(hubs=np.zeros(0), authorities=np.zeros(0))
+    adjacency = graph.adjacency
+    adjacency_t = graph.adjacency_t
+    hubs = np.ones(n)
+    authorities = np.ones(n)
+    if iterations == 0:
+        return HITSResult(hubs=hubs / np.sqrt(n), authorities=authorities / np.sqrt(n))
+    for _ in range(iterations):
+        authorities = adjacency_t @ hubs
+        norm = np.linalg.norm(authorities)
+        if norm == 0.0:
+            # No edges feed any authority: the notion degenerates entirely.
+            return HITSResult(hubs=np.zeros(n), authorities=np.zeros(n))
+        authorities /= norm
+        hubs = adjacency @ authorities
+        norm = np.linalg.norm(hubs)
+        if norm == 0.0:
+            return HITSResult(hubs=np.zeros(n), authorities=np.zeros(n))
+        hubs /= norm
+    return HITSResult(hubs=hubs, authorities=authorities)

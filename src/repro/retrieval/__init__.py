@@ -1,0 +1,12 @@
+"""High-level retrieval service layer.
+
+:class:`repro.retrieval.GSimIndex` bundles everything a similarity
+service needs around one graph pair: build the GSim+ factors (optionally
+with a content prior), persist/restore them together with their metadata,
+and serve query blocks, per-node rankings, and global top-k — the
+"retrieval" of the paper's title as one object.
+"""
+
+from repro.retrieval.index import GSimIndex, IndexMetadata
+
+__all__ = ["GSimIndex", "IndexMetadata"]

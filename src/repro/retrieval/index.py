@@ -1,0 +1,213 @@
+"""The GSimIndex: build once, persist, and serve retrievals.
+
+Wraps the lower-level pieces (:class:`repro.core.gsim_plus.GSimPlus`,
+:class:`repro.core.embeddings.LowRankFactors`,
+:mod:`repro.core.serialization`, :mod:`repro.core.topk`) behind one
+object with a stable on-disk format that records how the index was built
+(iteration count, graph sizes, library version), so a served score can
+always be traced back to its construction parameters.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.batch import BatchQueryEngine
+from repro.core.embeddings import LowRankFactors
+from repro.core.gsim_plus import GSimPlus
+from repro.core.topk import ScoredPair
+from repro.graphs.graph import Graph
+from repro.utils.validation import check_positive_integer
+
+__all__ = ["GSimIndex", "IndexMetadata"]
+
+_METADATA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class IndexMetadata:
+    """Provenance recorded alongside the factors."""
+
+    n_a: int
+    n_b: int
+    m_a: int
+    m_b: int
+    iterations: int
+    graph_a_name: str
+    graph_b_name: str
+    content_prior: bool
+    metadata_version: int = _METADATA_VERSION
+
+
+class GSimIndex:
+    """A built GSim+ similarity index over one graph pair.
+
+    Construct with :meth:`build` (from graphs) or :meth:`load` (from
+    disk).
+
+    Examples
+    --------
+    >>> from repro.graphs import Graph
+    >>> a = Graph.from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+    >>> b = Graph.from_edges(3, [(0, 1), (1, 2)])
+    >>> index = GSimIndex.build(a, b, iterations=6)
+    >>> index.query([0, 1], [0]).shape
+    (2, 1)
+    >>> index.top_matches(0, k=2)[0].node_a
+    0
+    """
+
+    def __init__(self, factors: LowRankFactors, metadata: IndexMetadata) -> None:
+        self._factors = factors
+        self._metadata = metadata
+        self._engine = BatchQueryEngine(factors, normalization="global")
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        graph_a: Graph,
+        graph_b: Graph,
+        iterations: int = 10,
+        initial_factors: tuple[np.ndarray, np.ndarray] | None = None,
+    ) -> "GSimIndex":
+        """Iterate GSim+ (QR-compressed cap, so the result stays factored)
+        and wrap the final factors."""
+        iterations = check_positive_integer(iterations, "iterations")
+        solver = GSimPlus(
+            graph_a,
+            graph_b,
+            rank_cap="qr-compress",
+            initial_factors=initial_factors,
+        )
+        state = None
+        for state in solver.iterate(iterations):
+            pass
+        assert state is not None and state.factors is not None
+        metadata = IndexMetadata(
+            n_a=graph_a.num_nodes,
+            n_b=graph_b.num_nodes,
+            m_a=graph_a.num_edges,
+            m_b=graph_b.num_edges,
+            iterations=iterations,
+            graph_a_name=graph_a.name,
+            graph_b_name=graph_b.name,
+            content_prior=initial_factors is not None,
+        )
+        return cls(state.factors, metadata)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        """Write factors + metadata to one ``.npz``."""
+        path = Path(path)
+        np.savez_compressed(
+            path,
+            u=self._factors.u,
+            v=self._factors.v,
+            log_scale=np.float64(self._factors.log_scale),
+            metadata_json=np.str_(json.dumps(asdict(self._metadata))),
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "GSimIndex":
+        """Restore an index written by :meth:`save`.
+
+        Raises ``ValueError`` on missing arrays or a newer metadata
+        version than this library understands.
+        """
+        path = Path(path)
+        with np.load(path) as archive:
+            missing = {"u", "v", "log_scale", "metadata_json"} - set(archive.files)
+            if missing:
+                raise ValueError(
+                    f"{path} is not a GSimIndex file (missing {sorted(missing)})"
+                )
+            raw = json.loads(str(archive["metadata_json"]))
+            if raw.get("metadata_version", 0) > _METADATA_VERSION:
+                raise ValueError(
+                    f"{path} was written by a newer library "
+                    f"(metadata v{raw['metadata_version']})"
+                )
+            metadata = IndexMetadata(**raw)
+            factors = LowRankFactors(
+                archive["u"].copy(), archive["v"].copy(), float(archive["log_scale"])
+            )
+        return cls(factors, metadata)
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    @property
+    def metadata(self) -> IndexMetadata:
+        """How this index was built."""
+        return self._metadata
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """``(n_A, n_B)`` of the indexed similarity."""
+        return self._factors.shape
+
+    def memory_bytes(self) -> int:
+        """Bytes held by the factor arrays."""
+        return self._factors.memory_bytes()
+
+    def query(
+        self,
+        queries_a: np.ndarray | list[int],
+        queries_b: np.ndarray | list[int],
+    ) -> np.ndarray:
+        """A globally-normalised similarity block."""
+        return self._engine.query(queries_a, queries_b)
+
+    def top_matches(self, node_a: int, k: int = 10) -> list[ScoredPair]:
+        """The ``k`` best G_B matches for one G_A node."""
+        k = check_positive_integer(k, "k")
+        if not (0 <= node_a < self.shape[0]):
+            raise IndexError(f"node {node_a} out of range")
+        row = self._engine.query([node_a], np.arange(self.shape[1]))[0]
+        order = np.argsort(-row, kind="stable")[: min(k, row.size)]
+        return [
+            ScoredPair(node_a=node_a, node_b=int(col), score=float(row[col]))
+            for col in order
+        ]
+
+    def top_pairs(self, k: int = 10, block_rows: int = 1024) -> list[ScoredPair]:
+        """The ``k`` globally best pairs, scanned under bounded memory."""
+        k = check_positive_integer(k, "k")
+        import heapq
+
+        heap: list[tuple[float, int, int]] = []
+        for start, block in self._engine.stream_rows(block_rows=block_rows):
+            if len(heap) < k:
+                flat = np.argsort(-block, axis=None, kind="stable")[:k]
+                for index in flat:
+                    row, col = divmod(int(index), block.shape[1])
+                    entry = (float(block[row, col]), start + row, col)
+                    if len(heap) < k:
+                        heapq.heappush(heap, entry)
+                    else:
+                        heapq.heappushpop(heap, entry)
+                continue
+            threshold = heap[0][0]
+            rows, cols = np.nonzero(block > threshold)
+            for row, col in zip(rows, cols):
+                entry = (float(block[row, col]), start + int(row), int(col))
+                if entry[0] > heap[0][0]:
+                    heapq.heappushpop(heap, entry)
+        ranked = sorted(heap, key=lambda item: (-item[0], item[1], item[2]))
+        return [ScoredPair(node_a=a, node_b=b, score=s) for s, a, b in ranked]
+
+    def __repr__(self) -> str:
+        return (
+            f"GSimIndex(shape={self.shape}, iterations={self._metadata.iterations}, "
+            f"graphs=({self._metadata.graph_a_name!r}, "
+            f"{self._metadata.graph_b_name!r}))"
+        )

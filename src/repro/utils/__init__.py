@@ -1,0 +1,29 @@
+"""Shared utilities: RNG handling, timing, memory accounting, validation.
+
+These are deliberately small, dependency-light helpers used by every other
+subpackage.  Nothing here knows about graphs or similarity models.
+"""
+
+from repro.utils.memory import MemoryTracker, dense_matrix_bytes, format_bytes
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.timing import Stopwatch, time_call
+from repro.utils.validation import (
+    check_integer,
+    check_nonnegative_integer,
+    check_positive_integer,
+    check_probability,
+)
+
+__all__ = [
+    "MemoryTracker",
+    "Stopwatch",
+    "check_integer",
+    "check_nonnegative_integer",
+    "check_positive_integer",
+    "check_probability",
+    "dense_matrix_bytes",
+    "ensure_rng",
+    "format_bytes",
+    "spawn_rngs",
+    "time_call",
+]

@@ -1,0 +1,60 @@
+"""Deterministic random-number-generator plumbing.
+
+Every stochastic component in the library (graph generators, samplers,
+workload builders) accepts a ``seed`` argument that may be ``None``, an
+integer, or an already-constructed :class:`numpy.random.Generator`.  This
+module centralises the conversion so behaviour is uniform everywhere and
+experiments stay reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ensure_rng", "spawn_rngs"]
+
+# Union accepted everywhere a seed is expected.
+SeedLike = int | np.random.Generator | None
+
+
+def ensure_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` (fresh entropy), an ``int`` seed, or an existing
+        ``Generator`` (returned unchanged so callers can share state).
+
+    Raises
+    ------
+    TypeError
+        If ``seed`` is of an unsupported type (e.g. a float or a legacy
+        ``RandomState``), to fail fast rather than silently degrade
+        reproducibility.
+    """
+    if seed is None or isinstance(seed, (int, np.integer)):
+        return np.random.default_rng(seed)
+    if isinstance(seed, np.random.Generator):
+        return seed
+    raise TypeError(
+        f"seed must be None, an int, or a numpy Generator, got {type(seed).__name__}"
+    )
+
+
+def spawn_rngs(seed: SeedLike, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` statistically independent generators from ``seed``.
+
+    Uses :class:`numpy.random.SeedSequence` spawning, so the children do not
+    overlap even when the parent seed is small.  Useful when one experiment
+    needs independent randomness for, say, graph generation and query
+    sampling.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if isinstance(seed, np.random.Generator):
+        # Derive children from the generator's own bit stream.
+        seeds = seed.integers(0, 2**63 - 1, size=count)
+        return [np.random.default_rng(int(s)) for s in seeds]
+    sequence = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in sequence.spawn(count)]

@@ -1,0 +1,79 @@
+"""Wall-clock measurement helpers used by the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["Stopwatch", "time_call"]
+
+
+@dataclass
+class Stopwatch:
+    """A restartable wall-clock stopwatch with lap recording.
+
+    Examples
+    --------
+    >>> sw = Stopwatch()
+    >>> _ = sw.start()           # returns self for chaining
+    >>> _ = sum(range(1000))
+    >>> sw.stop() >= 0.0
+    True
+    """
+
+    _start: float | None = None
+    _elapsed: float = 0.0
+    laps: list[float] = field(default_factory=list)
+
+    def start(self) -> "Stopwatch":
+        """Begin (or resume) timing.  Returns self for chaining."""
+        if self._start is not None:
+            raise RuntimeError("Stopwatch is already running")
+        self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        """Stop timing and return total elapsed seconds so far."""
+        if self._start is None:
+            raise RuntimeError("Stopwatch is not running")
+        self._elapsed += time.perf_counter() - self._start
+        self._start = None
+        return self._elapsed
+
+    def lap(self) -> float:
+        """Record the current elapsed time as a lap and return it."""
+        current = self.elapsed
+        self.laps.append(current)
+        return current
+
+    def reset(self) -> None:
+        """Zero the stopwatch and clear laps."""
+        self._start = None
+        self._elapsed = 0.0
+        self.laps.clear()
+
+    @property
+    def running(self) -> bool:
+        """Whether the stopwatch is currently running."""
+        return self._start is not None
+
+    @property
+    def elapsed(self) -> float:
+        """Elapsed seconds, including the in-flight interval if running."""
+        if self._start is None:
+            return self._elapsed
+        return self._elapsed + (time.perf_counter() - self._start)
+
+    def __enter__(self) -> "Stopwatch":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+
+def time_call(func: Callable[..., Any], *args: Any, **kwargs: Any) -> tuple[Any, float]:
+    """Call ``func(*args, **kwargs)`` and return ``(result, seconds)``."""
+    start = time.perf_counter()
+    result = func(*args, **kwargs)
+    return result, time.perf_counter() - start

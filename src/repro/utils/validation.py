@@ -1,0 +1,53 @@
+"""Argument validation helpers shared across the library.
+
+They raise early with actionable messages instead of letting NumPy or SciPy
+fail deep inside a kernel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "check_integer",
+    "check_nonnegative_integer",
+    "check_positive_integer",
+    "check_probability",
+]
+
+
+def check_integer(value: object, name: str) -> int:
+    """Validate ``value`` is an integer (Python or NumPy) and return it as int."""
+    if isinstance(value, bool):
+        raise TypeError(f"{name} must be an integer, got bool")
+    if not isinstance(value, (int, np.integer)):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    return int(value)
+
+
+def check_nonnegative_integer(value: object, name: str) -> int:
+    """Validate ``value`` is an integer >= 0 and return it."""
+    result = check_integer(value, name)
+    if result < 0:
+        raise ValueError(f"{name} must be >= 0, got {result}")
+    return result
+
+
+def check_positive_integer(value: object, name: str) -> int:
+    """Validate ``value`` is an integer >= 1 and return it."""
+    result = check_integer(value, name)
+    if result < 1:
+        raise ValueError(f"{name} must be >= 1, got {result}")
+    return result
+
+
+def check_probability(value: object, name: str) -> float:
+    """Validate ``value`` lies in [0, 1] and return it as float."""
+    if not isinstance(value, (int, float, np.floating, np.integer)) or isinstance(
+        value, bool
+    ):
+        raise TypeError(f"{name} must be a number, got {type(value).__name__}")
+    result = float(value)
+    if not 0.0 <= result <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {result}")
+    return result

@@ -1,0 +1,18 @@
+"""Query workload construction and parameter sweeps for the experiments."""
+
+from repro.workloads.queries import (
+    QueryWorkload,
+    degree_biased_queries,
+    make_workload,
+    uniform_queries,
+)
+from repro.workloads.sweeps import geometric_sweep, linear_sweep
+
+__all__ = [
+    "QueryWorkload",
+    "degree_biased_queries",
+    "geometric_sweep",
+    "linear_sweep",
+    "make_workload",
+    "uniform_queries",
+]

@@ -1,0 +1,95 @@
+"""Query-set generation.
+
+The paper's experiments draw query sets ``Q_A`` (from ``G_A``) and ``Q_B``
+(from ``G_B``) of configurable sizes (defaults 2,000 / 2,000, or 20,000 for
+``Q_B`` on the large graphs).  These helpers produce seeded query sets,
+either uniformly or biased toward high-degree nodes (the realistic case for
+entity-resolution workloads where popular entities are queried more).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.utils.rng import SeedLike, ensure_rng, spawn_rngs
+from repro.utils.validation import check_positive_integer
+
+__all__ = [
+    "QueryWorkload",
+    "degree_biased_queries",
+    "make_workload",
+    "uniform_queries",
+]
+
+
+@dataclass(frozen=True)
+class QueryWorkload:
+    """A pair of query sets for one similarity-search instance."""
+
+    queries_a: np.ndarray
+    queries_b: np.ndarray
+
+    @property
+    def size(self) -> tuple[int, int]:
+        """``(|Q_A|, |Q_B|)``."""
+        return (self.queries_a.size, self.queries_b.size)
+
+
+def uniform_queries(graph: Graph, size: int, seed: SeedLike = None) -> np.ndarray:
+    """``size`` distinct node ids drawn uniformly from ``graph``."""
+    size = check_positive_integer(size, "size")
+    if size > graph.num_nodes:
+        raise ValueError(
+            f"cannot draw {size} distinct queries from {graph.num_nodes} nodes"
+        )
+    rng = ensure_rng(seed)
+    return np.sort(rng.choice(graph.num_nodes, size=size, replace=False))
+
+
+def degree_biased_queries(
+    graph: Graph, size: int, seed: SeedLike = None, power: float = 1.0
+) -> np.ndarray:
+    """``size`` distinct node ids, selection probability ∝ ``(1+deg)^power``.
+
+    ``power=0`` degenerates to uniform; larger powers concentrate queries
+    on hubs.
+    """
+    size = check_positive_integer(size, "size")
+    if size > graph.num_nodes:
+        raise ValueError(
+            f"cannot draw {size} distinct queries from {graph.num_nodes} nodes"
+        )
+    if power < 0:
+        raise ValueError(f"power must be >= 0, got {power}")
+    rng = ensure_rng(seed)
+    weights = (1.0 + graph.out_degrees() + graph.in_degrees()) ** power
+    probabilities = weights / weights.sum()
+    return np.sort(
+        rng.choice(graph.num_nodes, size=size, replace=False, p=probabilities)
+    )
+
+
+def make_workload(
+    graph_a: Graph,
+    graph_b: Graph,
+    size_a: int,
+    size_b: int,
+    seed: SeedLike = None,
+    biased: bool = False,
+) -> QueryWorkload:
+    """Build a :class:`QueryWorkload` with independent seeds per side.
+
+    Sizes are clamped to the graph sizes so sweeps can over-ask safely on
+    the reduced-scale profiles.
+    """
+    rng_a, rng_b = spawn_rngs(seed, 2)
+    size_a = min(check_positive_integer(size_a, "size_a"), graph_a.num_nodes)
+    size_b = min(check_positive_integer(size_b, "size_b"), graph_b.num_nodes)
+    sampler = degree_biased_queries if biased else uniform_queries
+    return QueryWorkload(
+        queries_a=sampler(graph_a, size_a, seed=rng_a),
+        queries_b=sampler(graph_b, size_b, seed=rng_b),
+    )

@@ -1,0 +1,45 @@
+"""Parameter-sweep helpers shared by the figure drivers."""
+
+from __future__ import annotations
+
+__all__ = ["geometric_sweep", "linear_sweep"]
+
+
+def linear_sweep(start: int, stop: int, steps: int) -> list[int]:
+    """``steps`` evenly spaced integers from ``start`` to ``stop`` inclusive.
+
+    >>> linear_sweep(2, 10, 5)
+    [2, 4, 6, 8, 10]
+    """
+    if steps < 1:
+        raise ValueError(f"steps must be >= 1, got {steps}")
+    if steps == 1:
+        return [start]
+    stride = (stop - start) / (steps - 1)
+    values = [int(round(start + i * stride)) for i in range(steps)]
+    # De-duplicate while preserving order (tiny ranges can collide).
+    seen: set[int] = set()
+    unique = []
+    for value in values:
+        if value not in seen:
+            seen.add(value)
+            unique.append(value)
+    return unique
+
+
+def geometric_sweep(start: int, stop: int, factor: float = 2.0) -> list[int]:
+    """Geometric progression from ``start`` up to at most ``stop``.
+
+    >>> geometric_sweep(100, 1000, 2)
+    [100, 200, 400, 800]
+    """
+    if start < 1:
+        raise ValueError(f"start must be >= 1, got {start}")
+    if factor <= 1.0:
+        raise ValueError(f"factor must be > 1, got {factor}")
+    values = []
+    current = float(start)
+    while current <= stop:
+        values.append(int(round(current)))
+        current *= factor
+    return values

@@ -1,0 +1,50 @@
+"""Shared fixtures: small deterministic graphs used across the suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import Graph, erdos_renyi_graph, random_node_sample
+
+
+@pytest.fixture
+def path_graph() -> Graph:
+    """Directed path 0 -> 1 -> 2 -> 3."""
+    return Graph.from_edges(4, [(0, 1), (1, 2), (2, 3)], name="path4")
+
+
+@pytest.fixture
+def cycle_graph() -> Graph:
+    """Directed 5-cycle."""
+    return Graph.from_edges(
+        5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)], name="cycle5"
+    )
+
+
+@pytest.fixture
+def star_graph() -> Graph:
+    """Star: centre 0 points at 1..4."""
+    return Graph.from_edges(5, [(0, i) for i in range(1, 5)], name="star5")
+
+
+@pytest.fixture
+def random_pair() -> tuple[Graph, Graph]:
+    """A seeded (G_A, G_B) pair with G_B sampled from G_A."""
+    graph_a = erdos_renyi_graph(40, 160, seed=1)
+    graph_b = random_node_sample(graph_a, 15, seed=2)
+    return graph_a, graph_b
+
+
+@pytest.fixture
+def tiny_pair() -> tuple[Graph, Graph]:
+    """A very small pair for the spectral (Kronecker) tests."""
+    graph_a = erdos_renyi_graph(12, 40, seed=3)
+    graph_b = random_node_sample(graph_a, 8, seed=4)
+    return graph_a, graph_b
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fixed-seed NumPy generator."""
+    return np.random.default_rng(12345)

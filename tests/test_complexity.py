@@ -1,0 +1,103 @@
+"""Unit tests for the Table 1 cost models."""
+
+import pytest
+
+from repro.core import COST_MODELS, predict_cost
+from repro.core.complexity import InstanceParams
+
+
+def params(**overrides) -> InstanceParams:
+    defaults = dict(
+        n_a=10_000, n_b=1_000, m_a=100_000, m_b=5_000, q_a=200, q_b=200,
+        iterations=10,
+    )
+    defaults.update(overrides)
+    return InstanceParams(**defaults)
+
+
+class TestRegistry:
+    def test_all_table1_rows_present(self):
+        assert set(COST_MODELS) == {"gsim+", "gsvd", "gsim", "rsim", "ned", "ss-bc"}
+
+    def test_formulas_documented(self):
+        for model in COST_MODELS.values():
+            assert model.time_formula
+            assert model.space_formula
+
+    def test_predict_cost_case_insensitive(self):
+        assert predict_cost("GSim+", params()) == predict_cost("gsim+", params())
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(KeyError, match="unknown algorithm"):
+            predict_cost("magic", params())
+
+
+class TestGSimPlusModel:
+    def test_memory_linear_in_nodes(self):
+        _, small = predict_cost("gsim+", params())
+        _, big = predict_cost("gsim+", params(n_a=20_000))
+        # l is capped at n_b here, so memory scales ~linearly with n_a.
+        assert big > small
+        assert big < small * 2.5
+
+    def test_time_linear_in_edges(self):
+        t1, _ = predict_cost("gsim+", params(m_a=100_000))
+        t2, _ = predict_cost("gsim+", params(m_a=200_000))
+        assert t2 < t1 * 2.1
+        assert t2 > t1 * 1.4
+
+    def test_width_capped_by_smaller_graph(self):
+        # With k=10, 2^10 = 1024 > n_b = 1000: l = 1000.
+        t_capped, _ = predict_cost("gsim+", params(iterations=10))
+        t_deeper, _ = predict_cost("gsim+", params(iterations=20))
+        assert t_capped == t_deeper  # extra k adds no width once capped
+
+    def test_huge_iteration_count_no_overflow(self):
+        t, s = predict_cost("gsim+", params(iterations=10_000))
+        assert t > 0 and s > 0
+
+
+class TestCrossAlgorithmShape:
+    """Table 1's qualitative rankings on a large-instance profile."""
+
+    def test_gsim_plus_time_below_gsim(self):
+        p = params()
+        assert predict_cost("gsim+", p)[0] < predict_cost("gsim", p)[0]
+
+    def test_gsim_plus_memory_below_dense(self):
+        # In the low-rank regime (2^k << n_B) the factored storage wins big.
+        p = params(iterations=6)
+        assert predict_cost("gsim+", p)[1] < predict_cost("gsim", p)[1] / 10
+        assert predict_cost("gsim+", p)[1] < predict_cost("gsvd", p)[1] / 10
+
+    def test_gsim_plus_memory_never_exceeds_gsim(self):
+        # Once capped, GSim+ reverts to dense: equal, never worse (paper
+        # §5.2.1 point 6).
+        p = params(iterations=40)
+        assert predict_cost("gsim+", p)[1] <= predict_cost("gsim", p)[1]
+
+    def test_gsim_and_gsvd_memory_equal(self):
+        # Both materialise the dense n_A x n_B similarity.
+        p = params()
+        assert predict_cost("gsim", p)[1] == predict_cost("gsvd", p)[1]
+
+    def test_rsim_memory_quadratic_in_union(self):
+        _, small = predict_cost("rsim", params())
+        _, big = predict_cost("rsim", params(n_a=20_000))
+        assert big > small * 3  # (n_a + n_b)^2 scaling
+
+    def test_ssbc_time_scales_with_query_product(self):
+        t1, _ = predict_cost("ss-bc", params(q_a=100, q_b=100))
+        t2, _ = predict_cost("ss-bc", params(q_a=200, q_b=200))
+        assert t2 == pytest.approx(4 * t1)
+
+    def test_gsim_time_independent_of_queries(self):
+        t1, _ = predict_cost("gsim", params(q_a=10, q_b=10))
+        t2, _ = predict_cost("gsim", params(q_a=1000, q_b=1000))
+        assert t1 == t2
+
+    def test_ned_time_uses_capped_depth(self):
+        # The harness caps NED's depth at 3; deeper k adds nothing.
+        t1, _ = predict_cost("ned", params(iterations=3))
+        t2, _ = predict_cost("ned", params(iterations=10))
+        assert t1 == t2

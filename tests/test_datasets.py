@@ -1,0 +1,101 @@
+"""Unit tests for the simulated dataset registry."""
+
+import pytest
+
+from repro.graphs import DATASETS, load_dataset, load_dataset_pair
+from repro.graphs.datasets import SCALE_PROFILES
+
+
+class TestRegistry:
+    def test_all_five_paper_datasets_present(self):
+        assert set(DATASETS) == {"HP", "EE", "WT", "UK", "IT"}
+
+    def test_paper_sizes_recorded(self):
+        assert DATASETS["HP"].paper_nodes == 34_546
+        assert DATASETS["IT"].paper_edges == 1_150_725_436
+
+    def test_edge_ratio_matches_paper_table(self):
+        assert DATASETS["HP"].edge_ratio == pytest.approx(12.2, abs=0.1)
+        assert DATASETS["EE"].edge_ratio == pytest.approx(1.6, abs=0.1)
+        assert DATASETS["WT"].edge_ratio == pytest.approx(2.1, abs=0.1)
+        assert DATASETS["UK"].edge_ratio == pytest.approx(16.1, abs=0.1)
+        assert DATASETS["IT"].edge_ratio == pytest.approx(27.9, abs=0.1)
+
+    def test_profiles_monotone_in_scale(self):
+        for spec in DATASETS.values():
+            sizes = [spec.nodes_for(s) for s in ("tiny", "small", "medium", "paper")]
+            assert sizes == sorted(sizes)
+
+    def test_paper_profile_is_published_size(self):
+        for spec in DATASETS.values():
+            assert spec.nodes_for("paper") == spec.paper_nodes
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(KeyError, match="unknown scale"):
+            DATASETS["HP"].nodes_for("gigantic")
+
+    def test_sample_size_clamped_to_graph(self):
+        for spec in DATASETS.values():
+            for scale in ("tiny", "small"):
+                assert spec.sample_size_for(scale) <= spec.nodes_for(scale)
+
+    def test_sample_size_fixed_across_datasets(self):
+        # Paper protocol: |V_B| = 10,000 for every dataset; scaled profiles
+        # use one fixed target per profile (unless clamped).
+        small_sizes = {
+            spec.sample_size_for("small")
+            for spec in DATASETS.values()
+            if spec.nodes_for("small") >= 1_000
+        }
+        assert len(small_sizes) == 1
+
+    def test_scale_profiles_constant(self):
+        assert SCALE_PROFILES == ("tiny", "small", "medium", "paper")
+
+
+class TestLoading:
+    @pytest.mark.parametrize("key", sorted(DATASETS))
+    def test_tiny_loads(self, key):
+        graph = load_dataset(key, scale="tiny", seed=0)
+        assert graph.num_nodes >= DATASETS[key].nodes_for("tiny") * 0.9
+        assert graph.num_edges > 0
+
+    def test_edge_ratio_roughly_preserved(self):
+        graph = load_dataset("HP", scale="tiny", seed=0)
+        ratio = graph.num_edges / graph.num_nodes
+        assert ratio == pytest.approx(DATASETS["HP"].edge_ratio, rel=0.3)
+
+    def test_deterministic(self):
+        assert load_dataset("EE", scale="tiny", seed=1) == load_dataset(
+            "EE", scale="tiny", seed=1
+        )
+
+    def test_seed_changes_graph(self):
+        assert load_dataset("EE", scale="tiny", seed=1) != load_dataset(
+            "EE", scale="tiny", seed=2
+        )
+
+    def test_case_insensitive(self):
+        assert load_dataset("hp", scale="tiny").name.startswith("HP")
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            load_dataset("XX")
+
+    def test_pair_sample_is_subgraph_sized(self):
+        graph_a, graph_b = load_dataset_pair("HP", scale="tiny", seed=0)
+        assert graph_b.num_nodes == DATASETS["HP"].sample_size_for("tiny")
+        assert graph_b.num_nodes < graph_a.num_nodes
+
+    def test_pair_custom_sample_size(self):
+        _, graph_b = load_dataset_pair("HP", scale="tiny", seed=0, sample_size=37)
+        assert graph_b.num_nodes == 37
+
+    def test_pair_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            load_dataset_pair("nope")
+
+    def test_names_carry_scale(self):
+        graph_a, graph_b = load_dataset_pair("WT", scale="tiny", seed=0)
+        assert graph_a.name == "WT-tiny"
+        assert "B" in graph_b.name

@@ -1,0 +1,132 @@
+"""Edge-case behaviour across the public API.
+
+Degenerate topologies — single nodes, self loops, bipartite sinks,
+asymmetric sizes — exercised end-to-end so the library fails loudly (or
+computes correctly) instead of producing NaNs.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Graph, gsim, gsim_plus
+from repro.analysis import frobenius_error
+from repro.baselines import structsim_query
+from repro.core import top_k_pairs
+
+
+class TestSingleNodeGraphs:
+    def test_self_loop_vs_self_loop(self):
+        loop = Graph.from_edges(1, [(0, 0)])
+        result = gsim_plus(loop, loop, iterations=5)
+        assert result.similarity.shape == (1, 1)
+        assert result.similarity[0, 0] == pytest.approx(1.0)
+
+    def test_single_node_no_edges_collapses(self):
+        lonely = Graph.empty(1)
+        with pytest.raises(ZeroDivisionError):
+            gsim_plus(lonely, lonely, iterations=1)
+
+    def test_single_vs_large(self, random_pair):
+        graph_a, _ = random_pair
+        loop = Graph.from_edges(1, [(0, 0)])
+        result = gsim_plus(graph_a, loop, iterations=4)
+        assert result.similarity.shape == (graph_a.num_nodes, 1)
+        assert np.isfinite(result.similarity).all()
+
+
+class TestSelfLoops:
+    def test_gsim_plus_handles_self_loops(self):
+        # Self loops are legal adjacency entries; exactness must hold.
+        a = Graph.from_edges(4, [(0, 0), (0, 1), (1, 2), (2, 3), (3, 3)])
+        b = Graph.from_edges(3, [(0, 0), (0, 1), (1, 2)])
+        ours = gsim_plus(a, b, iterations=6).similarity
+        reference = gsim(a, b, iterations=6).similarity
+        assert frobenius_error(ours, reference) < 1e-10
+
+    def test_self_loop_counted_once_in_degrees(self):
+        g = Graph.from_edges(2, [(0, 0), (0, 1)])
+        assert g.out_degrees()[0] == 2
+        assert g.in_degrees()[0] == 1
+
+
+class TestAsymmetricSizes:
+    def test_wide_vs_narrow(self):
+        wide = Graph.from_edges(50, [(i, (i + 1) % 50) for i in range(50)])
+        narrow = Graph.from_edges(2, [(0, 1)])
+        result = gsim_plus(wide, narrow, iterations=8)
+        assert result.similarity.shape == (50, 2)
+        # min(n_A, n_B) = 2: the rank cap engages almost immediately.
+        assert result.used_dense_fallback
+
+    def test_topk_on_narrow_side(self):
+        wide = Graph.from_edges(20, [(i, (i + 1) % 20) for i in range(20)])
+        narrow = Graph.from_edges(3, [(0, 1), (1, 2)])
+        pairs = top_k_pairs(wide, narrow, k=100, iterations=4)
+        assert len(pairs) == 60  # clamped to n_A * n_B
+
+
+class TestSinkAndSourceStructure:
+    def test_pure_sink_graph(self):
+        # All edges point into node 0: A^T carries all the signal.
+        sink = Graph.from_edges(4, [(1, 0), (2, 0), (3, 0)])
+        result = gsim_plus(sink, sink, iterations=6)
+        # The sink is most similar to itself.
+        assert result.similarity[0, 0] == result.similarity.max()
+
+    def test_bipartite_oscillation_even_iterates(self):
+        # Bipartite structure makes odd iterates oscillate; even iterates
+        # are the convergent subsequence (paper §2).
+        bipartite = Graph.from_edges(4, [(0, 2), (0, 3), (1, 2), (1, 3)])
+        s_even_1 = gsim_plus(bipartite, bipartite, iterations=8).similarity
+        s_even_2 = gsim_plus(bipartite, bipartite, iterations=10).similarity
+        assert frobenius_error(s_even_1, s_even_2) < 1e-6
+
+    def test_nonempty_graphs_never_collapse(self):
+        # The update mixes A and A^T, so Z_k stays non-zero whenever both
+        # graphs have an edge (for symmetric M, collapse needs the all-ones
+        # start in null(M), i.e. effectively edgeless input).
+        path = Graph.from_edges(3, [(0, 1), (1, 2)])
+        result = gsim_plus(path, path, iterations=9)
+        assert np.isfinite(result.similarity).all()
+        assert np.linalg.norm(result.similarity) == pytest.approx(1.0)
+
+    def test_path_graph_odd_even_oscillation(self):
+        # Blondel et al.'s classic example: the 3-path vs itself oscillates
+        # between two accumulation points — only even iterates converge.
+        path = Graph.from_edges(3, [(0, 1), (1, 2)])
+        s_odd = gsim_plus(path, path, iterations=7).similarity
+        s_even = gsim_plus(path, path, iterations=8).similarity
+        s_even_next = gsim_plus(path, path, iterations=10).similarity
+        assert frobenius_error(s_odd, s_even) > 0.1       # oscillation
+        assert frobenius_error(s_even, s_even_next) < 0.05  # even converge
+
+
+class TestStructSimDegenerate:
+    def test_zero_levels(self, random_pair):
+        graph_a, graph_b = random_pair
+        block = structsim_query(graph_a, graph_b, [0], [0], levels=0)
+        assert block.shape == (1, 1)
+        assert 0.0 <= block[0, 0] <= 1.0
+
+
+class TestQueryExtremes:
+    def test_all_nodes_as_queries(self, random_pair):
+        graph_a, graph_b = random_pair
+        result = gsim_plus(
+            graph_a,
+            graph_b,
+            iterations=4,
+            queries_a=list(range(graph_a.num_nodes)),
+            queries_b=list(range(graph_b.num_nodes)),
+        )
+        assert result.similarity.shape == (graph_a.num_nodes, graph_b.num_nodes)
+
+    def test_reversed_query_order_permutes_block(self, random_pair):
+        graph_a, graph_b = random_pair
+        forward = gsim_plus(
+            graph_a, graph_b, iterations=4, queries_a=[1, 5], queries_b=[0, 2]
+        ).similarity
+        backward = gsim_plus(
+            graph_a, graph_b, iterations=4, queries_a=[5, 1], queries_b=[2, 0]
+        ).similarity
+        np.testing.assert_allclose(forward, backward[::-1, ::-1], atol=1e-12)

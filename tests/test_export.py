@@ -1,0 +1,79 @@
+"""Unit tests for experiment record export (CSV/JSON)."""
+
+import csv
+import io
+import json
+
+from repro.experiments.export import (
+    records_to_csv,
+    records_to_json,
+    write_csv,
+    write_json,
+)
+from repro.experiments.runner import Outcome, RunRecord
+
+
+def _records():
+    return [
+        RunRecord(
+            algorithm="GSim+",
+            dataset="HP",
+            outcome=Outcome.OK,
+            seconds=0.123,
+            memory_bytes=4096.0,
+            predicted_seconds=0.2,
+            predicted_bytes=5000.0,
+            params={"n_a": 300, "n_b": 100, "k": 10, "q_a": 20, "q_b": 20,
+                    "m_a": 3000, "m_b": 400},
+        ),
+        RunRecord(
+            algorithm="GSim",
+            dataset="WT",
+            outcome=Outcome.OOM,
+            note="predicted 360 MiB exceeds budget 256 MiB",
+            params={"k": 10},
+        ),
+    ]
+
+
+class TestCSV:
+    def test_round_trip_fields(self):
+        buffer = io.StringIO()
+        records_to_csv(_records(), buffer)
+        rows = list(csv.DictReader(io.StringIO(buffer.getvalue())))
+        assert len(rows) == 2
+        assert rows[0]["algorithm"] == "GSim+"
+        assert rows[0]["seconds"] == "0.123"
+        assert rows[0]["n_a"] == "300"
+
+    def test_failure_cells_keep_outcome(self):
+        buffer = io.StringIO()
+        records_to_csv(_records(), buffer)
+        rows = list(csv.DictReader(io.StringIO(buffer.getvalue())))
+        assert rows[1]["outcome"] == "oom"
+        assert rows[1]["seconds"] == ""
+        assert "exceeds budget" in rows[1]["note"]
+
+    def test_write_csv_file(self, tmp_path):
+        path = tmp_path / "records.csv"
+        write_csv(_records(), path)
+        assert path.read_text().startswith("algorithm,")
+
+
+class TestJSON:
+    def test_valid_json_with_all_fields(self):
+        data = json.loads(records_to_json(_records()))
+        assert len(data) == 2
+        assert data[0]["algorithm"] == "GSim+"
+        assert data[0]["memory_bytes"] == 4096.0
+        assert data[1]["outcome"] == "oom"
+        assert data[1]["seconds"] is None
+
+    def test_missing_params_are_null(self):
+        data = json.loads(records_to_json(_records()))
+        assert data[1]["n_a"] is None
+
+    def test_write_json_file(self, tmp_path):
+        path = tmp_path / "records.json"
+        write_json(_records(), path)
+        assert json.loads(path.read_text())[0]["dataset"] == "HP"

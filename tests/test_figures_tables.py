@@ -1,0 +1,225 @@
+"""Integration tests for the figure/table drivers (tiny scale, reduced sets)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import Deadline, ExperimentConfig, MemoryBudget, Outcome
+from repro.experiments.figures import (
+    fig2_time_by_dataset,
+    fig3_time_vs_k,
+    fig4_time_vs_nb,
+    fig5_time_vs_queries,
+    fig6_memory_by_dataset,
+    fig7_memory_vs_k,
+    fig8_memory_vs_queries,
+)
+from repro.experiments.report import render_records
+from repro.experiments.tables import accuracy_table, render_accuracy_table
+
+# Tests keep to fast algorithms and short deadlines: the slow baselines'
+# behaviour is covered by their own unit tests.
+FAST = ("GSim+", "GSVD", "GSim", "SS-BC*")
+
+
+@pytest.fixture
+def config():
+    return ExperimentConfig(
+        scale="tiny",
+        iterations=4,
+        seed=7,
+        memory_budget=MemoryBudget(),
+        deadline=Deadline(limit_seconds=10.0),
+    )
+
+
+class TestFig2:
+    def test_cells_complete(self, config):
+        records = fig2_time_by_dataset(
+            config, datasets=("HP", "EE"), algorithms=FAST
+        )
+        assert len(records) == 2 * len(FAST)
+        assert all(r.outcome is Outcome.OK for r in records)
+
+    def test_renderable(self, config):
+        records = fig2_time_by_dataset(config, datasets=("HP",), algorithms=FAST)
+        text = render_records(records, metric="time")
+        assert "GSim+" in text and "HP" in text
+
+    def test_unknown_algorithm_rejected(self, config):
+        with pytest.raises(KeyError, match="unknown algorithms"):
+            fig2_time_by_dataset(config, algorithms=("Mystery",))
+
+
+class TestFig3:
+    def test_sweeps_k(self, config):
+        records = fig3_time_vs_k(
+            config, dataset="HP", k_values=(2, 4), algorithms=("GSim+",)
+        )
+        ks = sorted(r.params["k"] for r in records)
+        assert ks == [2, 4]
+
+    def test_gsim_plus_time_grows_mildly(self, config):
+        records = fig3_time_vs_k(
+            config, dataset="EE", k_values=(2, 8), algorithms=("GSim+",)
+        )
+        fast, slow = records[0].seconds, records[1].seconds
+        assert slow < max(fast, 1e-4) * 200  # mild growth, not exponential
+
+
+class TestFig4:
+    def test_sweeps_nb(self, config):
+        records = fig4_time_vs_nb(
+            config, dataset="HP", nb_fractions=(0.1, 0.4), algorithms=("GSim+",)
+        )
+        sizes = [r.params["n_b"] for r in records]
+        assert sizes[0] < sizes[1]
+
+
+class TestFig5:
+    def test_sweeps_queries(self, config):
+        records = fig5_time_vs_queries(
+            config, dataset="HP", query_sizes=(5, 20), algorithms=("GSim+", "SS-BC*")
+        )
+        assert {r.params["q_a"] for r in records} == {5, 20}
+
+    def test_ssbc_scales_with_queries(self, config):
+        records = fig5_time_vs_queries(
+            config, dataset="EE", query_sizes=(10, 80), algorithms=("SS-BC*",)
+        )
+        small, large = records[0], records[1]
+        assert large.seconds > small.seconds
+
+
+class TestMemoryFigures:
+    def test_fig6_reuses_fig2_cells(self, config):
+        records = fig6_memory_by_dataset(
+            config, datasets=("HP",), algorithms=("GSim+", "GSim")
+        )
+        assert all(r.memory_bytes is not None for r in records if r.ok)
+        text = render_records(records, metric="memory")
+        assert "KiB" in text or "MiB" in text or "B" in text
+
+    def test_fig7_memory_vs_k(self, config):
+        records = fig7_memory_vs_k(
+            config, dataset="HP", k_values=(2, 6), algorithms=("GSim+",)
+        )
+        assert len(records) == 2
+
+    def test_gsim_plus_memory_grows_with_k(self, config):
+        records = fig7_memory_vs_k(
+            config, dataset="EE", k_values=(2, 6), algorithms=("GSim+",)
+        )
+        # Factor width doubles with k until the cap: memory must rise.
+        assert records[1].memory_bytes > records[0].memory_bytes
+
+    def test_fig8_memory_vs_queries(self, config):
+        records = fig8_memory_vs_queries(
+            config, dataset="HP", query_sizes=(5, 20), algorithms=("GSim+",)
+        )
+        assert len(records) == 2
+
+
+class TestMemoryWall:
+    def test_dense_baselines_oom_when_budget_small(self, config):
+        # Between GSim+'s predicted footprint (~0.1 MB factored) and
+        # GSim's dense one (~0.7 MB) on the tiny HP pair.
+        budget = MemoryBudget(limit_bytes=300_000)
+        tight = ExperimentConfig(
+            scale="tiny", iterations=4, seed=7,
+            memory_budget=budget, deadline=Deadline(limit_seconds=10.0),
+        )
+        records = fig2_time_by_dataset(
+            tight, datasets=("HP",), algorithms=("GSim+", "GSim")
+        )
+        outcomes = {r.algorithm: r.outcome for r in records}
+        assert outcomes["GSim"] is Outcome.OOM
+        assert outcomes["GSim+"] is Outcome.OK
+
+
+class TestAccuracyTable:
+    def test_structure(self):
+        table = accuracy_table(
+            k_values=(4, 8), ranks=(3, 6), reference_iterations=60,
+            dataset="HP", scale="tiny", seed=7,
+        )
+        assert table.k_values == [4, 8]
+        assert set(table.gsvd_errors) == {3, 6}
+        assert len(table.gsim_plus_errors) == 2
+
+    def test_theorem_31_equivalence(self):
+        table = accuracy_table(
+            k_values=(4, 8), ranks=(3,), reference_iterations=60,
+            dataset="HP", scale="tiny", seed=7,
+        )
+        assert table.max_equivalence_gap() < 1e-9
+
+    def test_gsvd_never_beats_gsim_plus(self):
+        table = accuracy_table(
+            k_values=(4, 8, 12), ranks=(3, 6), reference_iterations=80,
+            dataset="HP", scale="tiny", seed=7,
+        )
+        for rank, errors in table.gsvd_errors.items():
+            for ours, theirs in zip(table.gsim_plus_errors, errors):
+                assert theirs >= ours - 1e-9, f"GSVD r={rank} beat exact GSim+"
+
+    def test_error_decreases_with_k(self):
+        table = accuracy_table(
+            k_values=(4, 12), ranks=(3,), reference_iterations=80,
+            dataset="HP", scale="tiny", seed=7,
+        )
+        assert table.gsim_plus_errors[1] < table.gsim_plus_errors[0]
+
+    def test_render(self):
+        table = accuracy_table(
+            k_values=(4,), ranks=(3,), reference_iterations=40,
+            dataset="HP", scale="tiny", seed=7,
+        )
+        text = render_accuracy_table(table)
+        assert "GSim+ / GSim" in text
+        assert "GSVD (r=3)" in text
+
+    def test_explicit_graphs_accepted(self, tiny_pair):
+        graph_a, graph_b = tiny_pair
+        table = accuracy_table(
+            graph_a, graph_b, k_values=(4,), ranks=(2,), reference_iterations=40
+        )
+        assert len(table.gsim_plus_errors) == 1
+
+    def test_half_pair_rejected(self, tiny_pair):
+        graph_a, _ = tiny_pair
+        with pytest.raises(ValueError, match="both graphs"):
+            accuracy_table(graph_a, None)
+
+
+class TestErrorBoundTable:
+    def test_bound_dominates_everywhere(self):
+        from repro.experiments.tables import error_bound_table
+
+        table = error_bound_table(k_values=(2, 4, 6), sample_size=12, seed=7)
+        assert table.holds_everywhere()
+
+    def test_geometric_decay_rate(self):
+        from repro.experiments.tables import error_bound_table
+
+        table = error_bound_table(k_values=(2, 4, 6, 8), sample_size=12, seed=7)
+        # Bounds shrink by the constant factor ratio^2 between even ks.
+        expected = table.contraction_ratio**2
+        for earlier, later in zip(table.bounds, table.bounds[1:]):
+            assert later / earlier == pytest.approx(expected, rel=1e-6)
+
+    def test_odd_k_rejected(self):
+        from repro.experiments.tables import error_bound_table
+
+        with pytest.raises(ValueError, match="even k"):
+            error_bound_table(k_values=(2, 3), sample_size=12)
+
+    def test_render(self):
+        from repro.experiments.tables import (
+            error_bound_table,
+            render_error_bound_table,
+        )
+
+        table = error_bound_table(k_values=(2, 4), sample_size=12, seed=7)
+        text = render_error_bound_table(table)
+        assert "Theorem 4.2" in text
+        assert "contraction ratio" in text

@@ -1,0 +1,103 @@
+"""Unit tests for repro.graphs.io."""
+
+import io
+
+import pytest
+
+from repro.graphs import Graph, read_edge_list, read_edge_list_text, write_edge_list
+
+
+class TestReadText:
+    def test_basic_pairs(self):
+        g = read_edge_list_text("0 1\n1 2\n")
+        assert g.num_nodes == 3
+        assert g.has_edge(0, 1) and g.has_edge(1, 2)
+
+    def test_weighted_lines(self):
+        g = read_edge_list_text("0 1 2.5\n")
+        assert g.adjacency[0, 1] == 2.5
+
+    def test_comments_and_blanks_skipped(self):
+        g = read_edge_list_text("# header\n\n0 1\n# trailing\n")
+        assert g.num_edges == 1
+
+    def test_custom_comment_prefix(self):
+        g = read_edge_list_text("% note\n0 1\n", comment="%")
+        assert g.num_edges == 1
+
+    def test_tab_separated(self):
+        g = read_edge_list_text("0\t1\n")
+        assert g.has_edge(0, 1)
+
+    def test_node_count_from_max_id(self):
+        g = read_edge_list_text("0 5\n")
+        assert g.num_nodes == 6
+
+    def test_relabel_tokens(self):
+        g = read_edge_list_text("alice bob\nbob carol\n", relabel=True)
+        assert g.num_nodes == 3
+        assert g.has_edge(0, 1)  # alice -> bob in appearance order
+        assert g.has_edge(1, 2)
+
+    def test_relabel_preserves_first_appearance_order(self):
+        g = read_edge_list_text("9 3\n3 9\n", relabel=True)
+        # 9 seen first -> id 0; 3 -> id 1.
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+
+    def test_non_integer_without_relabel_raises(self):
+        with pytest.raises(ValueError, match="relabel=True"):
+            read_edge_list_text("alice bob\n")
+
+    def test_negative_id_without_relabel_raises(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            read_edge_list_text("-1 2\n")
+
+    def test_bad_weight_raises(self):
+        with pytest.raises(ValueError, match="invalid weight"):
+            read_edge_list_text("0 1 heavy\n")
+
+    def test_wrong_arity_raises(self):
+        with pytest.raises(ValueError, match="expected"):
+            read_edge_list_text("0 1 2 3\n")
+
+    def test_error_mentions_line_number(self):
+        with pytest.raises(ValueError, match="line 2"):
+            read_edge_list_text("0 1\n0 1 zzz\n")
+
+
+class TestFileRoundTrip:
+    def test_round_trip(self, tmp_path, random_pair):
+        graph, _ = random_pair
+        path = tmp_path / "graph.txt"
+        write_edge_list(graph, path)
+        loaded = read_edge_list(path)
+        assert loaded == graph
+
+    def test_round_trip_weights(self, tmp_path):
+        graph = Graph.from_edges(3, [(0, 1, 2.0), (1, 2, 0.5)])
+        path = tmp_path / "weighted.txt"
+        write_edge_list(graph, path, write_weights=True)
+        loaded = read_edge_list(path)
+        assert loaded == graph
+
+    def test_header_written(self, tmp_path, path_graph):
+        path = tmp_path / "g.txt"
+        write_edge_list(path_graph, path)
+        first = path.read_text().splitlines()[0]
+        assert first.startswith("#")
+        assert "nodes=4" in first
+
+    def test_header_suppressed(self, path_graph):
+        buffer = io.StringIO()
+        write_edge_list(path_graph, buffer, header=False)
+        assert not buffer.getvalue().startswith("#")
+
+    def test_write_to_stream(self, path_graph):
+        buffer = io.StringIO()
+        write_edge_list(path_graph, buffer)
+        assert "0\t1" in buffer.getvalue()
+
+    def test_name_defaults_to_stem(self, tmp_path, path_graph):
+        path = tmp_path / "mygraph.txt"
+        write_edge_list(path_graph, path)
+        assert read_edge_list(path).name == "mygraph"

@@ -1,0 +1,96 @@
+"""Unit tests for the Cason et al. GSVD baseline."""
+
+import numpy as np
+import pytest
+
+from repro import gsim, gsvd
+from repro.analysis import frobenius_error
+
+
+class TestGSVDMechanics:
+    def test_factor_shapes(self, random_pair):
+        graph_a, graph_b = random_pair
+        result = gsvd(graph_a, graph_b, iterations=5, rank=4)
+        assert result.u.shape == (graph_a.num_nodes, 4)
+        assert result.v.shape == (graph_b.num_nodes, 4)
+        assert result.sigma.shape == (4,)
+
+    def test_factors_orthonormal(self, random_pair):
+        graph_a, graph_b = random_pair
+        result = gsvd(graph_a, graph_b, iterations=5, rank=4)
+        np.testing.assert_allclose(result.u.T @ result.u, np.eye(4), atol=1e-8)
+        np.testing.assert_allclose(result.v.T @ result.v, np.eye(4), atol=1e-8)
+
+    def test_sigma_unit_norm(self, random_pair):
+        graph_a, graph_b = random_pair
+        result = gsvd(graph_a, graph_b, iterations=5, rank=4)
+        assert np.linalg.norm(result.sigma) == pytest.approx(1.0)
+
+    def test_similarity_unit_frobenius(self, random_pair):
+        graph_a, graph_b = random_pair
+        matrix = gsvd(graph_a, graph_b, iterations=5, rank=4).similarity_matrix()
+        assert np.linalg.norm(matrix) == pytest.approx(1.0)
+
+    def test_rank_clamped_to_graph_size(self, random_pair):
+        graph_a, graph_b = random_pair  # n_b = 15
+        result = gsvd(graph_a, graph_b, iterations=3, rank=100)
+        assert result.rank == 15
+
+    def test_rank_validated(self, random_pair):
+        with pytest.raises(ValueError):
+            gsvd(*random_pair, iterations=2, rank=0)
+
+    def test_query_block_matches_matrix_slice(self, random_pair):
+        graph_a, graph_b = random_pair
+        result = gsvd(graph_a, graph_b, iterations=4, rank=5)
+        block = result.query_block([0, 2], [1, 3])
+        full = result.similarity_matrix()
+        np.testing.assert_allclose(block, full[np.ix_([0, 2], [1, 3])], atol=1e-12)
+
+    def test_history_recorded(self, random_pair):
+        graph_a, graph_b = random_pair
+        result = gsvd(graph_a, graph_b, iterations=4, rank=3, keep_history=True)
+        assert len(result.iterates) == 4
+
+    def test_zero_iterations_is_rank1_ones(self, random_pair):
+        graph_a, graph_b = random_pair
+        result = gsvd(graph_a, graph_b, iterations=0, rank=3)
+        matrix = result.similarity_matrix()
+        # S_0 normalised: constant matrix.
+        assert np.allclose(matrix, matrix[0, 0])
+
+
+class TestGSVDAccuracy:
+    """The approximation behaviour §5.2.3 measures."""
+
+    def test_approximates_gsim(self, random_pair):
+        graph_a, graph_b = random_pair
+        reference = gsim(graph_a, graph_b, iterations=6).similarity
+        approx = gsvd(graph_a, graph_b, iterations=6, rank=10).similarity_matrix()
+        assert frobenius_error(approx, reference) < 0.05
+
+    def test_error_decreases_with_rank(self, random_pair):
+        graph_a, graph_b = random_pair
+        reference = gsim(graph_a, graph_b, iterations=6).similarity
+        errors = [
+            frobenius_error(
+                gsvd(graph_a, graph_b, iterations=6, rank=r).similarity_matrix(),
+                reference,
+            )
+            for r in (2, 5, 12)
+        ]
+        assert errors[2] <= errors[0] + 1e-12
+
+    def test_full_rank_exact(self, random_pair):
+        graph_a, graph_b = random_pair  # min side 15
+        reference = gsim(graph_a, graph_b, iterations=6).similarity
+        approx = gsvd(graph_a, graph_b, iterations=6, rank=15).similarity_matrix()
+        assert frobenius_error(approx, reference) < 1e-8
+
+    def test_fixed_small_rank_error_floor(self, random_pair):
+        # The paper's point: a small fixed r keeps a persistent error even
+        # as k grows, unlike GSim+ which is exact.
+        graph_a, graph_b = random_pair
+        reference = gsim(graph_a, graph_b, iterations=12).similarity
+        approx = gsvd(graph_a, graph_b, iterations=12, rank=2).similarity_matrix()
+        assert frobenius_error(approx, reference) > 1e-8

@@ -1,0 +1,98 @@
+"""Unit tests for NetworkX interoperability."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graphs import Graph
+from repro.graphs.interop import from_networkx, to_networkx
+
+
+class TestFromNetworkX:
+    def test_directed_edges(self):
+        nx_graph = nx.DiGraph([(0, 1), (1, 2)])
+        graph, labels = from_networkx(nx_graph)
+        assert graph.num_nodes == 3
+        assert graph.has_edge(labels[0], labels[1])
+        assert not graph.has_edge(labels[1], labels[0])
+
+    def test_undirected_symmetrised(self):
+        nx_graph = nx.Graph([(0, 1)])
+        graph, labels = from_networkx(nx_graph)
+        assert graph.has_edge(labels[0], labels[1])
+        assert graph.has_edge(labels[1], labels[0])
+
+    def test_weights_preserved(self):
+        nx_graph = nx.DiGraph()
+        nx_graph.add_edge("a", "b", weight=2.5)
+        graph, labels = from_networkx(nx_graph)
+        assert graph.adjacency[labels["a"], labels["b"]] == 2.5
+
+    def test_custom_weight_attribute(self):
+        nx_graph = nx.DiGraph()
+        nx_graph.add_edge(0, 1, cost=4.0)
+        graph, labels = from_networkx(nx_graph, weight_attribute="cost")
+        assert graph.adjacency[labels[0], labels[1]] == 4.0
+
+    def test_missing_weight_defaults_to_one(self):
+        nx_graph = nx.DiGraph([(0, 1)])
+        graph, labels = from_networkx(nx_graph)
+        assert graph.adjacency[labels[0], labels[1]] == 1.0
+
+    def test_arbitrary_labels(self):
+        nx_graph = nx.DiGraph([("alice", "bob"), ("bob", ("tuple", "label"))])
+        graph, labels = from_networkx(nx_graph)
+        assert graph.num_nodes == 3
+        assert set(labels) == {"alice", "bob", ("tuple", "label")}
+
+    def test_isolated_nodes_kept(self):
+        nx_graph = nx.DiGraph()
+        nx_graph.add_nodes_from([0, 1, 2])
+        graph, _ = from_networkx(nx_graph)
+        assert graph.num_nodes == 3
+        assert graph.num_edges == 0
+
+    def test_name_from_nx(self):
+        nx_graph = nx.DiGraph(name="web")
+        nx_graph.add_edge(0, 1)
+        graph, _ = from_networkx(nx_graph)
+        assert graph.name == "web"
+
+
+class TestToNetworkX:
+    def test_round_trip(self, random_pair):
+        graph, _ = random_pair
+        nx_graph = to_networkx(graph)
+        back, labels = from_networkx(nx_graph)
+        # Labels are already 0..n-1, so the round trip is exact.
+        assert back == graph
+
+    def test_weights_carried(self):
+        graph = Graph.from_edges(2, [(0, 1, 3.5)])
+        nx_graph = to_networkx(graph)
+        assert nx_graph[0][1]["weight"] == 3.5
+
+    def test_isolated_nodes_carried(self):
+        graph = Graph.empty(4)
+        nx_graph = to_networkx(graph)
+        assert nx_graph.number_of_nodes() == 4
+
+    def test_directedness(self, path_graph):
+        nx_graph = to_networkx(path_graph)
+        assert nx_graph.is_directed()
+        assert nx_graph.has_edge(0, 1)
+        assert not nx_graph.has_edge(1, 0)
+
+
+class TestEndToEnd:
+    def test_similarity_on_converted_graphs(self):
+        # The canonical NetworkX workflow: build there, score here.
+        from repro import gsim_plus
+
+        nx_a = nx.karate_club_graph()
+        graph_a, _ = from_networkx(nx_a)
+        nx_b = nx.path_graph(5, create_using=nx.DiGraph)
+        graph_b, _ = from_networkx(nx_b)
+        result = gsim_plus(graph_a, graph_b, iterations=6)
+        assert result.similarity.shape == (34, 5)
+        assert np.isfinite(result.similarity).all()

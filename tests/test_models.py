@@ -1,0 +1,121 @@
+"""Unit tests for the related similarity models (SimRank, CoSimRank,
+VertexSim) from the paper's introduction."""
+
+import numpy as np
+import pytest
+
+from repro import Graph
+from repro.models import cosimrank, cosimrank_cross, simrank, vertexsim
+
+
+class TestSimRank:
+    def test_diagonal_is_one(self, random_pair):
+        graph, _ = random_pair
+        s = simrank(graph, iterations=4)
+        np.testing.assert_array_equal(np.diag(s), 1.0)
+
+    def test_symmetric(self, random_pair):
+        graph, _ = random_pair
+        s = simrank(graph, iterations=4)
+        np.testing.assert_allclose(s, s.T, atol=1e-12)
+
+    def test_common_parent_similar(self):
+        # 0 and 1 both receive from 2: strong SimRank signal.
+        g = Graph.from_edges(3, [(2, 0), (2, 1)])
+        s = simrank(g, iterations=5, damping=0.8)
+        assert s[0, 1] == pytest.approx(0.8)
+
+    def test_disconnected_components_score_zero(self):
+        # The paper's introduction: "due to the lack of connectivity ...
+        # SimRank would perceive these nodes as completely dissimilar".
+        g = Graph.from_edges(4, [(0, 1), (2, 3)])
+        s = simrank(g, iterations=6)
+        assert s[1, 3] == 0.0
+
+    def test_no_in_neighbours_zero(self):
+        g = Graph.from_edges(3, [(0, 1), (0, 2)])
+        s = simrank(g, iterations=4)
+        # Node 0 has no in-neighbours: similarity with anyone else is 0.
+        assert s[0, 1] == 0.0
+
+    def test_range(self, random_pair):
+        graph, _ = random_pair
+        s = simrank(graph, iterations=5)
+        assert (s >= -1e-12).all() and (s <= 1.0 + 1e-12).all()
+
+    def test_zero_iterations_identity(self, path_graph):
+        np.testing.assert_array_equal(simrank(path_graph, iterations=0), np.eye(4))
+
+    def test_damping_validated(self, path_graph):
+        with pytest.raises(ValueError):
+            simrank(path_graph, damping=1.5)
+
+    def test_empty_graph(self):
+        assert simrank(Graph.empty(0)).shape == (0, 0)
+
+
+class TestCoSimRank:
+    def test_single_graph_diagonal_largest(self, random_pair):
+        graph, _ = random_pair
+        s = cosimrank(graph, iterations=5)
+        # Each node's best match is itself (k=0 term + identical walks).
+        assert (np.argmax(s, axis=1) == np.arange(graph.num_nodes)).all()
+
+    def test_single_graph_symmetric(self, random_pair):
+        graph, _ = random_pair
+        s = cosimrank(graph, iterations=5)
+        np.testing.assert_allclose(s, s.T, atol=1e-12)
+
+    def test_shared_walk_targets_similar(self):
+        g = Graph.from_edges(3, [(0, 1), (2, 1)])
+        s = cosimrank(g, iterations=3, damping=0.8)
+        # p_1(0) = p_1(2) = e_1 (inner product 1, weight 0.8); node 1 has
+        # no out-edges so all longer walks vanish.
+        assert s[0, 2] == pytest.approx(0.8)
+
+    def test_cross_graph_shape(self, random_pair):
+        graph_a, graph_b = random_pair
+        s = cosimrank_cross(graph_a, graph_b, iterations=4)
+        assert s.shape == (graph_a.num_nodes, graph_b.num_nodes)
+
+    def test_cross_graph_identical_inputs_match_single(self, random_pair):
+        graph, _ = random_pair
+        np.testing.assert_allclose(
+            cosimrank_cross(graph, graph, iterations=4),
+            cosimrank(graph, iterations=4),
+        )
+
+    def test_damping_zero_is_k0_only(self, random_pair):
+        graph, _ = random_pair
+        s = cosimrank(graph, iterations=5, damping=0.0)
+        np.testing.assert_array_equal(s, np.eye(graph.num_nodes))
+
+
+class TestVertexSim:
+    def test_shape_and_finite(self, random_pair):
+        graph, _ = random_pair
+        s = vertexsim(graph, terms=10)
+        assert s.shape == (graph.num_nodes, graph.num_nodes)
+        assert np.isfinite(s).all()
+
+    def test_symmetric(self, random_pair):
+        graph, _ = random_pair
+        s = vertexsim(graph, terms=10)
+        np.testing.assert_allclose(s, s.T, atol=1e-10)
+
+    def test_neighbours_more_similar_than_strangers(self):
+        # A path: adjacent nodes share walk structure.
+        g = Graph.from_edges(5, [(i, i + 1) for i in range(4)])
+        s = vertexsim(g, terms=15)
+        assert s[0, 1] > s[0, 4]
+
+    def test_alpha_validated(self, path_graph):
+        with pytest.raises(ValueError, match="alpha"):
+            vertexsim(path_graph, alpha=1.0)
+
+    def test_empty_graph(self):
+        assert vertexsim(Graph.empty(0)).shape == (0, 0)
+
+    def test_edgeless_graph_is_degree_normalised_identity(self):
+        s = vertexsim(Graph.empty(3))
+        np.testing.assert_array_equal(s, np.eye(3))

@@ -1,0 +1,88 @@
+"""Unit tests for the plain-text report renderer."""
+
+import pytest
+
+from repro.experiments import render_records, render_table
+from repro.experiments.runner import Outcome, RunRecord
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["a", "bbb"], [["11", "2"]])
+        lines = text.splitlines()
+        assert lines[0] == "a  | bbb"
+        assert lines[2] == "11 | 2  "
+
+    def test_title(self):
+        text = render_table(["x"], [["1"]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_row_width_checked(self):
+        with pytest.raises(ValueError, match="columns"):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_non_string_cells_coerced(self):
+        text = render_table(["n"], [[42]])
+        assert "42" in text
+
+
+def _record(algorithm, dataset, outcome=Outcome.OK, seconds=1.0, memory=1024.0, **params):
+    return RunRecord(
+        algorithm=algorithm,
+        dataset=dataset,
+        outcome=outcome,
+        seconds=seconds if outcome is Outcome.OK else None,
+        memory_bytes=memory if outcome is Outcome.OK else None,
+        params=params,
+    )
+
+
+class TestRenderRecords:
+    def test_pivot_by_dataset(self):
+        records = [
+            _record("GSim+", "HP", seconds=0.5),
+            _record("GSim+", "EE", seconds=1.5),
+            _record("GSim", "HP", seconds=2.0),
+        ]
+        text = render_records(records, metric="time")
+        assert "GSim+" in text and "HP" in text and "EE" in text
+        assert "500.0ms" in text
+        assert "2.00s" in text
+
+    def test_missing_cells_dashed(self):
+        records = [
+            _record("GSim+", "HP"),
+            _record("GSim", "EE"),
+        ]
+        text = render_records(records)
+        assert "-" in text
+
+    def test_oom_label(self):
+        records = [_record("GSim", "WT", outcome=Outcome.OOM)]
+        assert "OOM" in render_records(records)
+
+    def test_timeout_label(self):
+        records = [_record("NED", "IT", outcome=Outcome.TIMEOUT)]
+        assert ">1day" in render_records(records)
+
+    def test_memory_metric(self):
+        records = [_record("GSim+", "HP", memory=2048.0)]
+        text = render_records(records, metric="memory")
+        assert "2.0 KiB" in text
+
+    def test_param_column_key(self):
+        records = [
+            _record("GSim+", "EE", k=2),
+            _record("GSim+", "EE", k=4),
+        ]
+        text = render_records(records, column_key="k")
+        header = text.splitlines()[0]
+        assert "2" in header and "4" in header
+
+    def test_microsecond_formatting(self):
+        records = [_record("GSim+", "HP", seconds=5e-6)]
+        assert "us" in render_records(records)
+
+    def test_unknown_metric(self):
+        with pytest.raises(ValueError, match="unknown metric"):
+            render_records([_record("GSim+", "HP")], metric="joy")

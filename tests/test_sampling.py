@@ -1,0 +1,90 @@
+"""Unit tests for repro.graphs.sampling."""
+
+import pytest
+
+from repro.graphs import (
+    Graph,
+    bfs_sample,
+    erdos_renyi_graph,
+    forest_fire_sample,
+    random_node_sample,
+)
+
+
+@pytest.fixture
+def base_graph() -> Graph:
+    return erdos_renyi_graph(100, 500, seed=42)
+
+
+class TestRandomNodeSample:
+    def test_size(self, base_graph):
+        sub = random_node_sample(base_graph, 30, seed=0)
+        assert sub.num_nodes == 30
+
+    def test_deterministic(self, base_graph):
+        a = random_node_sample(base_graph, 30, seed=1)
+        b = random_node_sample(base_graph, 30, seed=1)
+        assert a == b
+
+    def test_induced_edges_only(self, base_graph):
+        # A 1-node sample can never have edges (no self loops in base).
+        sub = random_node_sample(base_graph, 1, seed=0)
+        assert sub.num_edges == 0
+
+    def test_whole_graph_sample(self, base_graph):
+        sub = random_node_sample(base_graph, base_graph.num_nodes, seed=0)
+        assert sub.num_edges == base_graph.num_edges
+
+    def test_oversample_rejected(self, base_graph):
+        with pytest.raises(ValueError, match="cannot sample"):
+            random_node_sample(base_graph, 101, seed=0)
+
+    def test_zero_rejected(self, base_graph):
+        with pytest.raises(ValueError):
+            random_node_sample(base_graph, 0, seed=0)
+
+
+class TestBFSSample:
+    def test_size(self, base_graph):
+        assert bfs_sample(base_graph, 25, seed=0).num_nodes == 25
+
+    def test_start_node_respected(self, base_graph):
+        sub = bfs_sample(base_graph, 10, seed=0, start=5)
+        assert sub.num_nodes == 10
+
+    def test_start_out_of_range(self, base_graph):
+        with pytest.raises(ValueError, match="out of range"):
+            bfs_sample(base_graph, 5, start=1000)
+
+    def test_connected_region_denser_than_uniform(self):
+        # Two disjoint cliques: BFS from inside one stays inside it.
+        edges = [(i, j) for i in range(10) for j in range(10) if i != j]
+        edges += [(i, j) for i in range(10, 20) for j in range(10, 20) if i != j]
+        g = Graph.from_edges(20, edges)
+        sub = bfs_sample(g, 10, seed=0, start=0)
+        # All 10 sampled nodes from the first clique -> full clique edges.
+        assert sub.num_edges == 90
+
+    def test_restarts_cover_disconnected_graphs(self):
+        g = Graph.empty(50)  # no edges at all: needs a restart per node
+        sub = bfs_sample(g, 20, seed=1)
+        assert sub.num_nodes == 20
+
+
+class TestForestFire:
+    def test_size(self, base_graph):
+        assert forest_fire_sample(base_graph, 30, seed=0).num_nodes == 30
+
+    def test_deterministic(self, base_graph):
+        a = forest_fire_sample(base_graph, 30, seed=3)
+        b = forest_fire_sample(base_graph, 30, seed=3)
+        assert a == b
+
+    def test_probability_validated(self, base_graph):
+        with pytest.raises(ValueError, match="forward_probability"):
+            forest_fire_sample(base_graph, 5, forward_probability=1.0)
+
+    def test_survives_dead_ends(self):
+        g = Graph.from_edges(30, [(0, 1)])  # almost no edges to burn along
+        sub = forest_fire_sample(g, 10, seed=0)
+        assert sub.num_nodes == 10

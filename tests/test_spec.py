@@ -1,0 +1,116 @@
+"""Unit tests for declarative experiment specifications."""
+
+import json
+
+import pytest
+
+from repro.experiments.runner import Outcome
+from repro.experiments.spec import ExperimentSpec, run_spec
+
+
+def _spec(**overrides):
+    defaults = dict(
+        name="test-spec",
+        datasets=("HP",),
+        algorithms=("GSim+",),
+        scale="tiny",
+        iterations=3,
+        query_size=8,
+    )
+    defaults.update(overrides)
+    return ExperimentSpec(**defaults)
+
+
+class TestSpecValidation:
+    def test_minimal_valid(self):
+        assert _spec().name == "test-spec"
+
+    def test_name_required(self):
+        with pytest.raises(ValueError, match="name"):
+            _spec(name="")
+
+    def test_dataset_required(self):
+        with pytest.raises(ValueError, match="dataset"):
+            _spec(datasets=())
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ValueError, match="unknown datasets"):
+            _spec(datasets=("XX",))
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError, match="unknown algorithms"):
+            _spec(algorithms=("Oracle",))
+
+    def test_bad_sweep_axis(self):
+        with pytest.raises(ValueError, match="sweep axis"):
+            _spec(sweep_axis="humidity", sweep_values=(1, 2))
+
+    def test_sweep_needs_values(self):
+        with pytest.raises(ValueError, match="needs values"):
+            _spec(sweep_axis="iterations")
+
+
+class TestSerialisation:
+    def test_from_dict(self):
+        spec = ExperimentSpec.from_dict(
+            {
+                "name": "x",
+                "datasets": ["HP", "EE"],
+                "algorithms": ["GSim+"],
+                "iterations": 4,
+                "sweep": {"axis": "query_size", "values": [5, 10]},
+            }
+        )
+        assert spec.datasets == ("HP", "EE")
+        assert spec.sweep_axis == "query_size"
+        assert spec.variations() == [{"query_size": 5}, {"query_size": 10}]
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown spec keys"):
+            ExperimentSpec.from_dict(
+                {"name": "x", "datasets": ["HP"], "algorithms": ["GSim+"],
+                 "gpu": True}
+            )
+
+    def test_from_json_file(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(
+            json.dumps(
+                {"name": "file-spec", "datasets": ["HP"], "algorithms": ["GSim+"]}
+            )
+        )
+        assert ExperimentSpec.from_json(path).name == "file-spec"
+
+    def test_no_sweep_single_variation(self):
+        assert _spec().variations() == [{}]
+
+
+class TestRunSpec:
+    def test_cell_count(self):
+        records = run_spec(
+            _spec(datasets=("HP", "EE"), algorithms=("GSim+", "GSVD"))
+        )
+        assert len(records) == 4
+        assert all(r.ok for r in records)
+
+    def test_sweep_expansion(self):
+        records = run_spec(
+            _spec(sweep_axis="iterations", sweep_values=(2, 4))
+        )
+        assert sorted(r.params["k"] for r in records) == [2, 4]
+
+    def test_query_size_sweep(self):
+        records = run_spec(
+            _spec(sweep_axis="query_size", sweep_values=(4, 8))
+        )
+        assert sorted(r.params["q_a"] for r in records) == [4, 8]
+
+    def test_budgets_respected(self):
+        records = run_spec(
+            _spec(algorithms=("GSim",), memory_budget_mib=0.001)
+        )
+        assert records[0].outcome is Outcome.OOM
+
+    def test_sample_size_override(self):
+        records = run_spec(_spec(sample_size=20))
+        assert records[0].params["n_b"] == 20

@@ -1,0 +1,86 @@
+"""Unit tests for bounded-memory streaming edge-list ingestion."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.graphs import read_edge_list, read_edge_list_streaming, write_edge_list
+from repro.graphs.streaming import iter_edge_chunks
+
+
+class TestIterEdgeChunks:
+    def test_chunks_respect_size(self):
+        text = "\n".join(f"{i} {i + 1}" for i in range(10))
+        chunks = list(iter_edge_chunks(io.StringIO(text), chunk_size=3))
+        assert [c[0].size for c in chunks] == [3, 3, 3, 1]
+
+    def test_weights_parsed(self):
+        chunks = list(iter_edge_chunks(io.StringIO("0 1 2.5\n"), chunk_size=10))
+        assert chunks[0][2][0] == 2.5
+
+    def test_comments_skipped(self):
+        text = "# header\n0 1\n# mid\n1 2\n"
+        chunks = list(iter_edge_chunks(io.StringIO(text), chunk_size=10))
+        assert chunks[0][0].size == 2
+
+    def test_bad_line_reports_number(self):
+        with pytest.raises(ValueError, match="line 2"):
+            list(iter_edge_chunks(io.StringIO("0 1\nbad line here oops\n"), chunk_size=10))
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            list(iter_edge_chunks(io.StringIO("-1 2\n"), chunk_size=10))
+
+    def test_empty_input(self):
+        assert list(iter_edge_chunks(io.StringIO(""), chunk_size=10)) == []
+
+
+class TestStreamingReader:
+    def test_equivalent_to_plain_reader(self, tmp_path, random_pair):
+        graph, _ = random_pair
+        path = tmp_path / "g.txt"
+        write_edge_list(graph, path, write_weights=True)
+        plain = read_edge_list(path)
+        streamed = read_edge_list_streaming(path, chunk_size=7)
+        assert streamed == plain
+
+    def test_tiny_chunks_same_result(self, tmp_path, random_pair):
+        graph, _ = random_pair
+        path = tmp_path / "g.txt"
+        write_edge_list(graph, path)
+        assert read_edge_list_streaming(path, chunk_size=1) == read_edge_list(path)
+
+    def test_duplicate_edges_summed(self, tmp_path):
+        path = tmp_path / "dup.txt"
+        path.write_text("0 1 2.0\n0 1 3.0\n")
+        graph = read_edge_list_streaming(path, chunk_size=1)
+        assert graph.adjacency[0, 1] == 5.0
+
+    def test_known_num_nodes_immediate_fold(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n1 2\n")
+        graph = read_edge_list_streaming(path, chunk_size=1, num_nodes=10)
+        assert graph.num_nodes == 10
+        assert graph.num_edges == 2
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("# nothing\n")
+        graph = read_edge_list_streaming(path)
+        assert graph.num_nodes == 0
+        assert graph.num_edges == 0
+
+    def test_name_defaults_to_stem(self, tmp_path):
+        path = tmp_path / "webcrawl.txt"
+        path.write_text("0 1\n")
+        assert read_edge_list_streaming(path).name == "webcrawl"
+
+    def test_large_synthetic_round_trip(self, tmp_path):
+        from repro.graphs import erdos_renyi_graph
+
+        graph = erdos_renyi_graph(200, 2000, seed=9)
+        path = tmp_path / "big.txt"
+        write_edge_list(graph, path)
+        streamed = read_edge_list_streaming(path, chunk_size=128)
+        assert streamed == graph
