@@ -18,6 +18,9 @@ Package map
   sampling, and the simulated dataset registry.
 * :mod:`repro.workloads` — query-set generation and sweeps.
 * :mod:`repro.analysis` — accuracy / ranking / spectral metrics.
+* :mod:`repro.runtime` — the execution-context layer: cooperative
+  deadlines, live memory budgets, cancellation, and metrics shared by
+  every compute loop above.
 * :mod:`repro.experiments` — drivers regenerating every figure and table
   of the paper's evaluation section.
 """
@@ -33,16 +36,26 @@ from repro.core import (
 )
 from repro.graphs import Graph, load_dataset, load_dataset_pair
 from repro.retrieval import GSimIndex
+from repro.runtime import (
+    BudgetExceeded,
+    CancellationToken,
+    ExecutionContext,
+    Metrics,
+)
 from repro.workloads import make_workload
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "BudgetExceeded",
+    "CancellationToken",
+    "ExecutionContext",
     "GSimIndex",
     "GSimPlus",
     "GSimPlusResult",
     "Graph",
     "LowRankFactors",
+    "Metrics",
     "__version__",
     "error_bound",
     "gsim",

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.graphs.graph import Graph
+from repro.runtime import ExecutionContext
 from repro.utils.validation import check_nonnegative_integer, check_positive_integer
 
 __all__ = ["GSVDResult", "gsvd"]
@@ -86,6 +87,7 @@ def gsvd(
     iterations: int = 10,
     rank: int = 10,
     keep_history: bool = False,
+    context: ExecutionContext | None = None,
 ) -> GSVDResult:
     """Run Cason et al.'s fixed-rank GSVD iteration.
 
@@ -117,7 +119,9 @@ def gsvd(
     history: list[tuple[np.ndarray, np.ndarray, np.ndarray]] | None = (
         [] if keep_history else None
     )
-    for _ in range(iterations):
+    for step in range(iterations):
+        if context is not None:
+            context.checkpoint(f"GSVD iteration {step + 1}")
         scaled_u = u * sigma  # n_A x r, absorbs Σ as in Eq.(3).
         left_block = np.hstack([a @ scaled_u, a_t @ scaled_u])  # n_A x 2r
         right_block = np.hstack([b @ v, b_t @ v])  # n_B x 2r
@@ -140,6 +144,10 @@ def gsvd(
         if norm == 0.0:
             raise ZeroDivisionError("GSVD iterate collapsed to zero")
         sigma = sigma / norm
+        if context is not None:
+            context.metrics.increment("gsvd.iterations")
+            context.metrics.increment("gsvd.spmm", 4)
+            context.metrics.increment("gsvd.qr", 2)
         if history is not None:
             history.append((u.copy(), sigma.copy(), v.copy()))
     return GSVDResult(

@@ -28,6 +28,7 @@ import numpy as np
 from scipy.optimize import linear_sum_assignment
 
 from repro.graphs.graph import Graph
+from repro.runtime import ExecutionContext
 from repro.utils.deadline import WallClockDeadline
 from repro.utils.validation import check_nonnegative_integer
 
@@ -108,6 +109,7 @@ def _pairwise_distance(
     depth: int,
     memo: dict[tuple[int, int, int], float],
     deadline: WallClockDeadline | None = None,
+    context: ExecutionContext | None = None,
 ) -> float:
     """Tree edit distance between depth-limited adjacent trees (memoised)."""
     if depth == 0:
@@ -115,10 +117,15 @@ def _pairwise_distance(
     key = (depth, node_a, node_b)
     cached = memo.get(key)
     if cached is not None:
+        if context is not None:
+            context.metrics.increment("ned.memo_hits")
         return cached
     # A single pair on a hubby graph can spend minutes inside this
-    # recursion, so the deadline is checked per uncached subproblem, not
-    # just between query pairs.
+    # recursion, so the deadline (and context) is checked per uncached
+    # subproblem, not just between query pairs.
+    if context is not None:
+        context.checkpoint("NED subtree matching")
+        context.metrics.increment("ned.subproblems")
     if deadline is not None:
         deadline.check("NED subtree matching")
     children_a = index_a.neighbours(node_a)
@@ -149,7 +156,7 @@ def _pairwise_distance(
     for i, ca in enumerate(children_a):
         for j, cb in enumerate(children_b):
             costs[i, j] = _pairwise_distance(
-                index_a, index_b, int(ca), int(cb), depth - 1, memo, deadline
+                index_a, index_b, int(ca), int(cb), depth - 1, memo, deadline, context
             )
     # Matching child i of A with a dummy = deleting its subtree.
     costs[:na, nb:] = np.inf
@@ -197,12 +204,14 @@ def ned_query(
     depth: int = 3,
     size_limit: int = 2_000_000,
     deadline: WallClockDeadline | None = None,
+    context: ExecutionContext | None = None,
 ) -> np.ndarray:
     """NED similarity block ``1 / (1 + distance)`` over the query pairs.
 
     Each pair is a fresh single-pair computation (NED's design); the memo
     is shared across pairs so overlapping neighbourhoods are not re-solved.
-    The optional ``deadline`` is checked between pairs.
+    The optional ``deadline`` (or ``context``) is checked between pairs
+    and per uncached subproblem.
     """
     rows = np.asarray(queries_a, dtype=np.int64)
     cols = np.asarray(queries_b, dtype=np.int64)
@@ -212,10 +221,21 @@ def ned_query(
     block = np.empty((rows.size, cols.size))
     for i, node_a in enumerate(rows):
         for j, node_b in enumerate(cols):
+            if context is not None:
+                context.checkpoint("NED pair queries")
             if deadline is not None:
                 deadline.check("NED pair queries")
             distance = _pairwise_distance(
-                index_a, index_b, int(node_a), int(node_b), depth, memo, deadline
+                index_a,
+                index_b,
+                int(node_a),
+                int(node_b),
+                depth,
+                memo,
+                deadline,
+                context,
             )
             block[i, j] = 1.0 / (1.0 + distance)
+            if context is not None:
+                context.metrics.increment("ned.pairs")
     return block

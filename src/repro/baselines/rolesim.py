@@ -35,8 +35,13 @@ import numpy as np
 from scipy.optimize import linear_sum_assignment
 
 from repro.graphs.graph import Graph
+from repro.runtime import ExecutionContext
 from repro.utils.deadline import WallClockDeadline
-from repro.utils.validation import check_nonnegative_integer, check_probability
+from repro.utils.validation import (
+    check_nonnegative_integer,
+    check_probability,
+    resolve_node_index,
+)
 
 __all__ = ["RoleSimResult", "rolesim", "rolesim_query"]
 
@@ -101,6 +106,7 @@ def rolesim(
     matching: str = "greedy",
     iceberg_threshold: float | None = None,
     deadline: WallClockDeadline | None = None,
+    context: ExecutionContext | None = None,
 ) -> RoleSimResult:
     """All-pairs RoleSim on one (undirected-ised) graph.
 
@@ -143,31 +149,49 @@ def rolesim(
     active = np.ones((n, n), dtype=bool)
     np.fill_diagonal(active, False)  # diagonal stays exactly 1.
 
-    for _ in range(iterations):
-        updated = similarity.copy()
-        for u in range(n):
-            if deadline is not None and u % 64 == 0:
-                deadline.check("RoleSim pair updates")
-            nbrs_u = neighbours[u]
-            for v in range(u + 1, n):
-                if not active[u, v]:
-                    continue
-                nbrs_v = neighbours[v]
-                denom = max(degrees[u], degrees[v])
-                if denom == 0:
-                    # Two isolated nodes play identical roles.
-                    value = 1.0
-                else:
-                    weights = similarity[np.ix_(nbrs_u, nbrs_v)]
-                    value = (1.0 - beta) * match_fn(weights) / denom + beta
-                updated[u, v] = value
-                updated[v, u] = value
-        similarity = updated
-        if iceberg_threshold is not None:
-            below = similarity < iceberg_threshold
-            below &= active
-            similarity[below] = beta
-            active[below] = False
+    charged = 0
+    if context is not None:
+        # Working set: the current iterate plus its updated copy.
+        charged = 2 * n * n * 8
+        context.charge(charged, "RoleSim all-pairs matrices")
+    try:
+        for _ in range(iterations):
+            updated = similarity.copy()
+            for u in range(n):
+                if u % 64 == 0:
+                    if context is not None:
+                        context.checkpoint("RoleSim pair updates")
+                    if deadline is not None:
+                        deadline.check("RoleSim pair updates")
+                nbrs_u = neighbours[u]
+                row_updates = 0
+                for v in range(u + 1, n):
+                    if not active[u, v]:
+                        continue
+                    nbrs_v = neighbours[v]
+                    denom = max(degrees[u], degrees[v])
+                    if denom == 0:
+                        # Two isolated nodes play identical roles.
+                        value = 1.0
+                    else:
+                        weights = similarity[np.ix_(nbrs_u, nbrs_v)]
+                        value = (1.0 - beta) * match_fn(weights) / denom + beta
+                    updated[u, v] = value
+                    updated[v, u] = value
+                    row_updates += 1
+                if context is not None and row_updates:
+                    context.metrics.increment("rolesim.pair_updates", row_updates)
+            similarity = updated
+            if context is not None:
+                context.metrics.increment("rolesim.iterations")
+            if iceberg_threshold is not None:
+                below = similarity < iceberg_threshold
+                below &= active
+                similarity[below] = beta
+                active[below] = False
+    finally:
+        if context is not None and charged:
+            context.release(charged)
     np.fill_diagonal(similarity, 1.0)
     return RoleSimResult(similarity=similarity, iterations=iterations)
 
@@ -181,6 +205,7 @@ def rolesim_query(
     beta: float = 0.15,
     matching: str = "greedy",
     deadline: WallClockDeadline | None = None,
+    context: ExecutionContext | None = None,
 ) -> np.ndarray:
     """Cross-graph RoleSim block via the disjoint union ``G_A ∪ G_B``.
 
@@ -188,16 +213,21 @@ def rolesim_query(
     iterated (RoleSim's recursion spans every pair), reproducing the
     memory wall the paper reports.
     """
+    rows = resolve_node_index(
+        queries_a, graph_a.num_nodes, "queries_a",
+        allow_empty=True, allow_duplicates=True,
+    )
+    cols = resolve_node_index(
+        queries_b, graph_b.num_nodes, "queries_b",
+        allow_empty=True, allow_duplicates=True,
+    ) + graph_a.num_nodes
     union = graph_a.union_disjoint(graph_b)
     result = rolesim(
-        union, iterations=iterations, beta=beta, matching=matching, deadline=deadline
+        union,
+        iterations=iterations,
+        beta=beta,
+        matching=matching,
+        deadline=deadline,
+        context=context,
     )
-    rows = np.asarray(queries_a, dtype=np.int64)
-    cols = np.asarray(queries_b, dtype=np.int64) + graph_a.num_nodes
-    if rows.size and (rows.min() < 0 or rows.max() >= graph_a.num_nodes):
-        raise IndexError("queries_a out of range")
-    if cols.size and (
-        cols.min() < graph_a.num_nodes or cols.max() >= union.num_nodes
-    ):
-        raise IndexError("queries_b out of range")
     return result.similarity[np.ix_(rows, cols)]

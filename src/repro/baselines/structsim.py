@@ -25,6 +25,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.graphs.graph import Graph
+from repro.runtime import ExecutionContext
 from repro.utils.deadline import WallClockDeadline
 from repro.utils.validation import check_nonnegative_integer
 
@@ -133,6 +134,7 @@ def structsim_query(
     index_a: StructSimIndex | None = None,
     index_b: StructSimIndex | None = None,
     deadline: WallClockDeadline | None = None,
+    context: ExecutionContext | None = None,
 ) -> np.ndarray:
     """SS-BC* similarity block: one single-pair query per ``(a, b)`` pair.
 
@@ -149,8 +151,12 @@ def structsim_query(
         index_b = StructSimIndex(graph_b, levels=levels, max_bins=max_bins)
     block = np.empty((rows.size, cols.size))
     for i, node_a in enumerate(rows):
+        if context is not None:
+            context.checkpoint("SS-BC* pair queries")
         if deadline is not None:
             deadline.check("SS-BC* pair queries")
         for j, node_b in enumerate(cols):
             block[i, j] = index_a.pair_similarity(index_b, int(node_a), int(node_b))
+        if context is not None:
+            context.metrics.increment("structsim.pairs", cols.size)
     return block

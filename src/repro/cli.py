@@ -6,11 +6,19 @@ Usage (installed as ``gsimplus`` or via ``python -m repro.cli``)::
     gsimplus fig3 --dataset EE --scale small
     gsimplus accuracy --scale tiny
     gsimplus all --scale tiny
+    gsimplus fig2 --scale tiny --metrics out.json   # dump runtime metrics
+
+``--metrics PATH`` (figures, ``all``, ``topk``, ``sim``, ``spec``) writes
+the run's :class:`repro.runtime.Metrics` counter/timer tree as JSON —
+for experiment commands the per-cell metric snapshots are merged into one
+tree; for ``topk``/``sim`` the run executes under a fresh
+:class:`repro.runtime.ExecutionContext` whose snapshot is dumped.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Callable, Sequence
 
@@ -87,9 +95,18 @@ def _build_parser() -> argparse.ArgumentParser:
             help="per-cell memory budget in MiB (default: 256)",
         )
 
+    def _add_metrics(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--metrics",
+            default=None,
+            metavar="PATH",
+            help="write the run's counter/timer tree as JSON to this path",
+        )
+
     for name, (_, _, _, description) in _FIGURES.items():
         sub = subparsers.add_parser(name, help=f"Figure {name[3:]}: {description}")
         _add_common(sub)
+        _add_metrics(sub)
         if name in ("fig3", "fig4", "fig5", "fig7", "fig8"):
             sub.add_argument("--dataset", default="EE", help="dataset key")
 
@@ -109,11 +126,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "all", help="regenerate every figure and the accuracy table"
     )
     _add_common(everything)
+    _add_metrics(everything)
 
     topk = subparsers.add_parser(
         "topk", help="retrieve the k most similar cross-graph pairs"
     )
     _add_common(topk)
+    _add_metrics(topk)
     topk.add_argument("--dataset", default="HP", help="dataset key")
     topk.add_argument("--top", type=int, default=10, help="number of pairs")
 
@@ -153,10 +172,12 @@ def _build_parser() -> argparse.ArgumentParser:
     sim.add_argument(
         "--output", default=None, help="write the block as CSV to this path"
     )
+    _add_metrics(sim)
 
     spec = subparsers.add_parser(
         "spec", help="run a declarative experiment from a JSON spec file"
     )
+    _add_metrics(spec)
     spec.add_argument("spec_path", help="path to the JSON experiment spec")
     spec.add_argument(
         "--metric", default="time", choices=("time", "memory"),
@@ -168,7 +189,7 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _run_figure(name: str, args: argparse.Namespace) -> str:
+def _run_figure(name: str, args: argparse.Namespace) -> tuple[str, list]:
     driver, column, metric, description = _FIGURES[name]
     guards = dict(
         memory_budget=MemoryBudget(int(args.memory_budget_mib * 1024 * 1024)),
@@ -189,14 +210,41 @@ def _run_figure(name: str, args: argparse.Namespace) -> str:
         )
     records = driver(config, **kwargs)
     title = f"Figure {name[3:]} — {description} (scale={args.scale})"
-    return render_records(records, column_key=column, metric=metric, title=title)
+    rendered = render_records(records, column_key=column, metric=metric, title=title)
+    return rendered, records
+
+
+def _merged_record_metrics(records: list) -> dict:
+    """Fold every cell's metric snapshot into one counter/timer tree."""
+    from repro.runtime import Metrics
+
+    merged = Metrics()
+    for record in records:
+        if getattr(record, "metrics", None):
+            merged.merge_snapshot(record.metrics)
+    return merged.snapshot()
+
+
+def _write_metrics(path: str, tree: dict) -> int:
+    try:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(tree, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    except OSError as exc:
+        print(f"error: cannot write metrics to {path}: {exc}", file=sys.stderr)
+        return 1
+    print(f"metrics written to {path}")
+    return 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
     if args.command in _FIGURES:
-        print(_run_figure(args.command, args))
+        rendered, records = _run_figure(args.command, args)
+        print(rendered)
+        if args.metrics:
+            return _write_metrics(args.metrics, _merged_record_metrics(records))
         return 0
     if args.command == "accuracy":
         table = accuracy_table(
@@ -215,15 +263,21 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(render_error_bound_table(table))
         return 0
     if args.command == "all":
+        all_records: list = []
         for name in _FIGURES:
-            print(_run_figure(name, args))
+            rendered, records = _run_figure(name, args)
+            print(rendered)
             print()
+            all_records.extend(records)
         table = accuracy_table(scale=args.scale, seed=args.seed)
         print(render_accuracy_table(table))
+        if args.metrics:
+            return _write_metrics(args.metrics, _merged_record_metrics(all_records))
         return 0
     if args.command == "topk":
         from repro.core import top_k_pairs
         from repro.graphs import load_dataset_pair
+        from repro.runtime import ExecutionContext
 
         graph_a, graph_b = load_dataset_pair(
             args.dataset, scale=args.scale, seed=args.seed
@@ -231,13 +285,18 @@ def main(argv: Sequence[str] | None = None) -> int:
         iterations = args.iterations
         if iterations is None:
             iterations = ExperimentConfig.for_scale(args.scale).iterations
-        pairs = top_k_pairs(graph_a, graph_b, args.top, iterations=iterations)
+        context = ExecutionContext()
+        pairs = top_k_pairs(
+            graph_a, graph_b, args.top, iterations=iterations, context=context
+        )
         print(f"top-{args.top} pairs on {graph_a.name} (K={iterations}):")
         for pair in pairs:
             print(
                 f"  G_A {pair.node_a:>7}  ~  G_B {pair.node_b:>6}"
                 f"   score {pair.score:.5f}"
             )
+        if args.metrics:
+            return _write_metrics(args.metrics, context.snapshot())
         return 0
     if args.command == "sim":
         import numpy as np
@@ -245,15 +304,22 @@ def main(argv: Sequence[str] | None = None) -> int:
         from repro.core import top_k_pairs
         from repro.core.gsim_plus import gsim_plus
         from repro.graphs import read_edge_list
+        from repro.runtime import ExecutionContext
 
         graph_a = read_edge_list(args.graph_a, relabel=args.relabel)
         graph_b = read_edge_list(args.graph_b, relabel=args.relabel)
         print(f"G_A = {graph_a}")
         print(f"G_B = {graph_b}")
+        context = ExecutionContext()
         if args.top is not None:
-            pairs = top_k_pairs(graph_a, graph_b, args.top, iterations=args.iterations)
+            pairs = top_k_pairs(
+                graph_a, graph_b, args.top, iterations=args.iterations,
+                context=context,
+            )
             for pair in pairs:
                 print(f"  {pair.node_a}\t{pair.node_b}\t{pair.score:.6f}")
+            if args.metrics:
+                return _write_metrics(args.metrics, context.snapshot())
             return 0
 
         def _parse_queries(raw: str | None) -> list[int] | None:
@@ -268,6 +334,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             queries_a=_parse_queries(args.queries_a),
             queries_b=_parse_queries(args.queries_b),
             normalization="global",
+            context=context,
         )
         if args.output:
             np.savetxt(args.output, result.similarity, delimiter=",", fmt="%.8g")
@@ -275,6 +342,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         else:
             with np.printoptions(precision=4, suppress=True, threshold=400):
                 print(result.similarity)
+        if args.metrics:
+            return _write_metrics(args.metrics, context.snapshot())
         return 0
     if args.command == "spec":
         from repro.experiments.export import write_csv
@@ -295,6 +364,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.export_csv:
             write_csv(records, args.export_csv)
             print(f"records written to {args.export_csv}")
+        if args.metrics:
+            return _write_metrics(args.metrics, _merged_record_metrics(records))
         return 0
     if args.command == "datasets":
         from repro.experiments.report import render_table

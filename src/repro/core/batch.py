@@ -10,6 +10,13 @@ with:
 * ``stream_rows`` — iterate the full similarity row-block by row-block
   under a hard memory bound, for exhaustive consumers (exports, rank
   scans) that must never materialise ``n_A x n_B``.
+
+Both entry points accept an optional
+:class:`repro.runtime.ExecutionContext`: each served block is a
+checkpoint (deadline/cancellation polled, block bytes charged against the
+live memory budget) and block counts land in ``context.metrics`` under
+``batch.*``.  The :class:`repro.runtime.Metrics` sink is lock-protected,
+so the thread-pool path aggregates counters without losing increments.
 """
 
 from __future__ import annotations
@@ -20,6 +27,7 @@ from typing import Iterable, Iterator, Sequence
 import numpy as np
 
 from repro.core.embeddings import LowRankFactors
+from repro.runtime import ExecutionContext
 from repro.utils.validation import check_positive_integer
 
 __all__ = ["BatchQueryEngine"]
@@ -67,8 +75,11 @@ class BatchQueryEngine:
         self,
         queries_a: np.ndarray | Sequence[int],
         queries_b: np.ndarray | Sequence[int],
+        context: ExecutionContext | None = None,
     ) -> np.ndarray:
         """One normalised query block."""
+        if context is not None:
+            context.checkpoint("batch query block")
         block = self._factors.query_block(queries_a, queries_b, include_scale=False)
         if self._normalization == "block":
             denominator = float(np.linalg.norm(block))
@@ -76,36 +87,65 @@ class BatchQueryEngine:
                 raise ZeroDivisionError("query block has zero norm")
         else:
             denominator = self._global_norm
+        if context is not None:
+            context.metrics.increment("batch.blocks_served")
+            context.metrics.increment("batch.cells_served", block.size)
         return block / denominator
 
     def query_many(
         self,
         requests: Iterable[tuple[Sequence[int], Sequence[int]]],
         max_workers: int | None = None,
+        context: ExecutionContext | None = None,
     ) -> list[np.ndarray]:
         """Answer many blocks; ``max_workers > 1`` uses a thread pool.
 
         Results come back in request order regardless of worker count.
+        Each block is a checkpoint of ``context``; with a thread pool the
+        workers share the same lock-protected metrics sink, so counter
+        increments are never lost to races.
         """
         request_list = list(requests)
         if max_workers is None or max_workers <= 1:
-            return [self.query(qa, qb) for qa, qb in request_list]
+            return [self.query(qa, qb, context=context) for qa, qb in request_list]
         with ThreadPoolExecutor(max_workers=max_workers) as pool:
             futures = [
-                pool.submit(self.query, qa, qb) for qa, qb in request_list
+                pool.submit(self.query, qa, qb, context)
+                for qa, qb in request_list
             ]
             return [future.result() for future in futures]
 
-    def stream_rows(self, block_rows: int = 1024) -> Iterator[tuple[int, np.ndarray]]:
+    def stream_rows(
+        self,
+        block_rows: int = 1024,
+        context: ExecutionContext | None = None,
+    ) -> Iterator[tuple[int, np.ndarray]]:
         """Yield ``(start_row, normalised_block)`` covering every row.
 
         Peak memory is ``O(block_rows * n_B)``; global normalisation is
-        used so concatenating the blocks reproduces the full matrix.
+        used so concatenating the blocks reproduces the full matrix.  With
+        a context, every block is a checkpoint and its bytes are charged
+        against the live memory budget while it is the current block.
         """
         block_rows = check_positive_integer(block_rows, "block_rows")
-        n_rows = self._factors.shape[0]
+        n_rows, n_cols = self._factors.shape
         v_t = self._factors.v.T
-        for start in range(0, n_rows, block_rows):
-            stop = min(start + block_rows, n_rows)
-            block = (self._factors.u[start:stop] @ v_t) / self._global_norm
-            yield start, block
+        charged = 0
+        try:
+            for start in range(0, n_rows, block_rows):
+                stop = min(start + block_rows, n_rows)
+                if context is not None:
+                    context.checkpoint(f"stream_rows block at row {start}")
+                    context.release(charged)
+                    charged = 0
+                    block_bytes = (stop - start) * n_cols * 8
+                    context.charge(block_bytes, "stream_rows block")
+                    charged = block_bytes
+                block = (self._factors.u[start:stop] @ v_t) / self._global_norm
+                if context is not None:
+                    context.metrics.increment("batch.blocks_served")
+                    context.metrics.increment("batch.rows_streamed", stop - start)
+                yield start, block
+        finally:
+            if context is not None and charged:
+                context.release(charged)

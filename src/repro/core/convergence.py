@@ -18,6 +18,7 @@ import numpy as np
 from repro.core.embeddings import LowRankFactors
 from repro.core.gsim_plus import GSimPlus
 from repro.graphs.graph import Graph
+from repro.runtime import ExecutionContext
 from repro.utils.validation import check_positive_integer
 
 __all__ = ["ConvergenceReport", "iterate_to_convergence"]
@@ -54,6 +55,7 @@ def iterate_to_convergence(
     queries_a: np.ndarray | list[int] | None = None,
     queries_b: np.ndarray | list[int] | None = None,
     rank_cap: str = "dense",
+    context: ExecutionContext | None = None,
 ) -> ConvergenceReport:
     """Run GSim+ until even iterates stabilise.
 
@@ -80,7 +82,7 @@ def iterate_to_convergence(
     previous_even_dense: np.ndarray | None = None
     stopped_at: int | None = None
 
-    for state in solver.iterate(max_iterations):
+    for state in solver.iterate(max_iterations, context=context):
         if state.k == 0 or state.k % 2 != 0:
             continue
         if state.dense_z is not None:
@@ -113,7 +115,9 @@ def iterate_to_convergence(
             break
 
     iterations = stopped_at if stopped_at is not None else max_iterations
-    result = solver.run(iterations, queries_a=queries_a, queries_b=queries_b)
+    result = solver.run(
+        iterations, queries_a=queries_a, queries_b=queries_b, context=context
+    )
     return ConvergenceReport(
         converged=stopped_at is not None,
         iterations=iterations,

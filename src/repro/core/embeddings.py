@@ -24,6 +24,8 @@ import math
 
 import numpy as np
 
+from repro.utils.validation import resolve_node_index
+
 __all__ = ["LowRankFactors"]
 
 
@@ -171,12 +173,14 @@ class LowRankFactors:
         Costs ``O((|rows| + |cols|) w + |rows| |cols| w)`` — never touches
         the full matrix.
         """
-        rows = np.asarray(row_index, dtype=np.int64)
-        cols = np.asarray(col_index, dtype=np.int64)
-        if rows.size and (rows.min() < 0 or rows.max() >= self.shape[0]):
-            raise IndexError("row index out of range")
-        if cols.size and (cols.min() < 0 or cols.max() >= self.shape[1]):
-            raise IndexError("column index out of range")
+        rows = resolve_node_index(
+            row_index, self.shape[0], "row index",
+            allow_empty=True, allow_duplicates=True,
+        )
+        cols = resolve_node_index(
+            col_index, self.shape[1], "column index",
+            allow_empty=True, allow_duplicates=True,
+        )
         block = self.u[rows] @ self.v[cols].T
         if include_scale and self.log_scale != 0.0:
             block *= math.exp(self.log_scale)

@@ -47,7 +47,9 @@ import scipy.sparse as sp
 
 from repro.core.embeddings import LowRankFactors
 from repro.graphs.graph import Graph
-from repro.utils.validation import check_nonnegative_integer
+from repro.runtime import ExecutionContext
+from repro.utils.memory import dense_matrix_bytes
+from repro.utils.validation import check_nonnegative_integer, resolve_node_index
 
 __all__ = ["GSimPlus", "GSimPlusResult", "gsim_plus"]
 
@@ -83,11 +85,17 @@ class GSimPlusResult:
 
 @dataclass
 class _IterationState:
-    """Internal per-iteration snapshot yielded by :meth:`GSimPlus.iterate`."""
+    """Internal per-iteration snapshot yielded by :meth:`GSimPlus.iterate`.
+
+    ``dense_log_norm`` accumulates ``log ||Z_k||_F`` of the *unnormalised*
+    iterate across the dense rank-cap regime (each dense step renormalises
+    to unit Frobenius, so the true norm only survives in log-space here).
+    """
 
     k: int
     factors: LowRankFactors | None
     dense_z: np.ndarray | None
+    dense_log_norm: float = 0.0
 
     def similarity_matrix(self) -> np.ndarray:
         """The full normalised ``S_k`` (materialises; small graphs only)."""
@@ -201,12 +209,14 @@ class GSimPlus:
         new_v = np.hstack([self._b @ factors.v, self._b_t @ factors.v])
         return LowRankFactors(new_u, new_v, factors.log_scale).rescaled()
 
-    def _step_dense(self, z: np.ndarray) -> np.ndarray:
+    def _step_dense(self, z: np.ndarray) -> tuple[np.ndarray, float]:
         """One Eq.(6a) step on a dense Z, renormalised to unit Frobenius.
 
         Per-iteration scalar renormalisation is equivalent to normalising
         once at the end (Eq.(2) vs Eq.(6) in the paper) and prevents
-        overflow in the dense regime.
+        overflow in the dense regime.  Returns ``(normalised_z, log(norm))``
+        so callers can accumulate the exact log-norm of the unnormalised
+        iterate across the dense regime.
         """
         # A Z B^T + A^T Z B, staying in sparse-times-dense kernels:
         # Z B^T = (B Z^T)^T and Z B = (B^T Z^T)^T.
@@ -216,14 +226,24 @@ class GSimPlus:
             raise ZeroDivisionError(
                 "similarity iterate collapsed to zero (disconnected inputs?)"
             )
-        return updated / norm
+        return updated / norm, float(np.log(norm))
 
-    def iterate(self, iterations: int) -> Iterator[_IterationState]:
+    def iterate(
+        self, iterations: int, context: ExecutionContext | None = None
+    ) -> Iterator[_IterationState]:
         """Yield state after every iteration ``k = 0 .. iterations``.
 
         The k=0 state is the all-ones initialisation.  Downstream consumers
         (accuracy table, convergence driver) read
         :meth:`_IterationState.similarity_matrix` per step.
+
+        With an :class:`repro.runtime.ExecutionContext`, every iteration is
+        a checkpoint: the deadline and cancellation token are polled, the
+        working set (factor arrays, or the dense iterate plus its update
+        temporary once the rank-cap fallback engages) is charged against
+        the live memory budget *before* it is allocated, and the per-step
+        width / spmm counts land in ``context.metrics`` under
+        ``gsim_plus.*``.  Without a context, behaviour is unchanged.
         """
         iterations = check_nonnegative_integer(iterations, "iterations")
         width_cap = min(self.n_a, self.n_b)
@@ -231,32 +251,82 @@ class GSimPlus:
             self._initial.u.copy(), self._initial.v.copy(), self._initial.log_scale
         )
         dense_z: np.ndarray | None = None
-        yield _IterationState(0, factors, dense_z)
-        for k in range(1, iterations + 1):
-            if dense_z is not None:
-                dense_z = self._step_dense(dense_z)
-            else:
-                assert factors is not None
-                if self.rank_cap == "dense" and 2 * factors.width > width_cap:
-                    # Paper §5.2.1 point 6: revert to traditional GSim once
-                    # the doubled width exceeds min(n_A, n_B).
-                    dense_z = factors.materialize(include_scale=False)
-                    norm = float(np.linalg.norm(dense_z))
-                    if norm == 0.0:
-                        raise ZeroDivisionError(
-                            "similarity iterate collapsed to zero"
-                        )
-                    dense_z /= norm
-                    factors = None
-                    dense_z = self._step_dense(dense_z)
+        dense_log = 0.0
+        charged = 0
+
+        def _account(num_bytes: int, what: str) -> None:
+            # Swap the charged working set: release the previous charge,
+            # then charge the new one (so a breach leaves nothing held).
+            nonlocal charged
+            assert context is not None
+            context.release(charged)
+            charged = 0
+            context.charge(num_bytes, what)
+            charged = num_bytes
+
+        try:
+            if context is not None:
+                _account(factors.memory_bytes(), "GSim+ initial factors")
+                context.metrics.observe("gsim_plus.width", factors.width)
+                context.metrics.observe("gsim_plus.bytes_held", charged)
+            yield _IterationState(0, factors, dense_z)
+            for k in range(1, iterations + 1):
+                if context is not None:
+                    context.checkpoint(f"GSim+ iteration {k}")
+                if dense_z is not None:
+                    dense_z, log_norm = self._step_dense(dense_z)
+                    dense_log += log_norm
                 else:
-                    factors = self._step_factors(factors)
-                    if (
-                        self.rank_cap == "qr-compress"
-                        and factors.width > width_cap
-                    ):
-                        factors = factors.compressed()
-            yield _IterationState(k, factors, dense_z)
+                    assert factors is not None
+                    if self.rank_cap == "dense" and 2 * factors.width > width_cap:
+                        # Paper §5.2.1 point 6: revert to traditional GSim
+                        # once the doubled width exceeds min(n_A, n_B).
+                        # Working set from here on: the dense iterate plus
+                        # one same-sized update temporary per step.
+                        if context is not None:
+                            _account(
+                                2 * dense_matrix_bytes(self.n_a, self.n_b),
+                                "GSim+ dense rank-cap fallback",
+                            )
+                        dense_z = factors.materialize(include_scale=False)
+                        norm = float(np.linalg.norm(dense_z))
+                        if norm == 0.0:
+                            raise ZeroDivisionError(
+                                "similarity iterate collapsed to zero"
+                            )
+                        dense_z /= norm
+                        # log ||Z||_F of the exact iterate at hand-over.
+                        dense_log = float(np.log(norm)) + factors.log_scale
+                        factors = None
+                        dense_z, log_norm = self._step_dense(dense_z)
+                        dense_log += log_norm
+                    else:
+                        factors = self._step_factors(factors)
+                        if (
+                            self.rank_cap == "qr-compress"
+                            and factors.width > width_cap
+                        ):
+                            factors = factors.compressed()
+                        if context is not None:
+                            _account(
+                                factors.memory_bytes(), f"GSim+ factors (k={k})"
+                            )
+                if context is not None:
+                    context.metrics.increment("gsim_plus.iterations")
+                    context.metrics.increment("gsim_plus.spmm", 4)
+                    context.metrics.observe(
+                        "gsim_plus.width",
+                        factors.width if factors is not None else width_cap,
+                    )
+                    context.metrics.observe("gsim_plus.bytes_held", charged)
+                    if dense_z is not None:
+                        context.metrics.increment("gsim_plus.dense_steps")
+                        context.metrics.set_gauge("gsim_plus.z_log_norm", dense_log)
+                yield _IterationState(k, factors, dense_z, dense_log)
+        finally:
+            if context is not None and charged:
+                context.release(charged)
+                charged = 0
 
     # ------------------------------------------------------------------
     # Public entry points
@@ -267,6 +337,7 @@ class GSimPlus:
         queries_a: np.ndarray | list[int] | None = None,
         queries_b: np.ndarray | list[int] | None = None,
         progress: "Callable[[int, int], None] | None" = None,
+        context: ExecutionContext | None = None,
     ) -> GSimPlusResult:
         """Execute Algorithm 1 and return the query-block similarity.
 
@@ -282,11 +353,18 @@ class GSimPlus:
             ``(k, current_factor_width)`` — width is ``min(n_A, n_B)``
             once the dense fallback engages.  For richer per-iteration
             access (the factors themselves), drive :meth:`iterate`.
+        context:
+            Optional :class:`repro.runtime.ExecutionContext`.  The run then
+            polls the deadline/cancellation token between iterations and
+            charges its working set against the live memory budget; a
+            breach raises a structured
+            :class:`repro.runtime.BudgetExceeded` carrying the metrics
+            collected so far.
         """
         queries_a = self._resolve_queries(queries_a, self.n_a, "queries_a")
         queries_b = self._resolve_queries(queries_b, self.n_b, "queries_b")
         final: _IterationState | None = None
-        for final in self.iterate(iterations):
+        for final in self.iterate(iterations, context=context):
             if progress is not None and final.k > 0:
                 width = (
                     final.factors.width
@@ -297,9 +375,11 @@ class GSimPlus:
         assert final is not None
         return self._finalize(final, iterations, queries_a, queries_b)
 
-    def similarity_matrix(self, iterations: int) -> np.ndarray:
+    def similarity_matrix(
+        self, iterations: int, context: ExecutionContext | None = None
+    ) -> np.ndarray:
         """The full ``n_A x n_B`` normalised ``S_K`` (materialises)."""
-        result = self.run(iterations)
+        result = self.run(iterations, context=context)
         return result.similarity
 
     # ------------------------------------------------------------------
@@ -309,16 +389,7 @@ class GSimPlus:
     def _resolve_queries(
         queries: np.ndarray | list[int] | None, size: int, name: str
     ) -> np.ndarray:
-        if queries is None:
-            return np.arange(size, dtype=np.int64)
-        index = np.asarray(queries, dtype=np.int64)
-        if index.ndim != 1 or index.size == 0:
-            raise ValueError(f"{name} must be a non-empty 1-D index array")
-        if index.min() < 0 or index.max() >= size:
-            raise IndexError(f"{name} contains out-of-range node ids")
-        if np.unique(index).size != index.size:
-            raise ValueError(f"{name} contains duplicate node ids")
-        return index
+        return resolve_node_index(queries, size, name, full_if_none=True)
 
     def _finalize(
         self,
@@ -331,10 +402,12 @@ class GSimPlus:
             block = state.dense_z[np.ix_(queries_a, queries_b)]
             full_norm = float(np.linalg.norm(state.dense_z))
             final_width = min(self.n_a, self.n_b)
-            # Dense path keeps Z normalised per step; the true log-norm of
-            # the raw Z is not tracked there (it is only needed for
-            # reporting, and the factored path covers all k of interest).
-            z_log = float("nan")
+            # Dense steps renormalise to unit Frobenius each iteration, so
+            # the raw ``log ||Z_K||_F`` is the accumulated per-step log-norms
+            # plus the (near-zero) log-norm of the current normalised iterate.
+            z_log = state.dense_log_norm + float(
+                np.log(max(full_norm, np.finfo(float).tiny))
+            )
             used_dense = True
         else:
             assert state.factors is not None
@@ -372,6 +445,7 @@ def gsim_plus(
     rank_cap: str = "dense",
     normalization: str = "block",
     initial_factors: tuple[np.ndarray, np.ndarray] | None = None,
+    context: ExecutionContext | None = None,
 ) -> GSimPlusResult:
     """Functional wrapper over :class:`GSimPlus` (Algorithm 1).
 
@@ -397,4 +471,6 @@ def gsim_plus(
         normalization=normalization,
         initial_factors=initial_factors,
     )
-    return solver.run(iterations, queries_a=queries_a, queries_b=queries_b)
+    return solver.run(
+        iterations, queries_a=queries_a, queries_b=queries_b, context=context
+    )

@@ -25,7 +25,8 @@ import numpy as np
 from repro.core.embeddings import LowRankFactors
 from repro.core.gsim_plus import GSimPlus
 from repro.graphs.graph import Graph
-from repro.utils.validation import check_positive_integer
+from repro.runtime import ExecutionContext
+from repro.utils.validation import check_positive_integer, resolve_node_index
 
 __all__ = ["ScoredPair", "top_k_for_queries", "top_k_pairs"]
 
@@ -39,7 +40,12 @@ class ScoredPair:
     score: float
 
 
-def _factors_for(graph_a: Graph, graph_b: Graph, iterations: int) -> LowRankFactors:
+def _factors_for(
+    graph_a: Graph,
+    graph_b: Graph,
+    iterations: int,
+    context: ExecutionContext | None = None,
+) -> LowRankFactors:
     """Run GSim+ and return the final factors (factored regime enforced).
 
     Uses the QR-compressed cap so the representation stays factored even
@@ -47,7 +53,7 @@ def _factors_for(graph_a: Graph, graph_b: Graph, iterations: int) -> LowRankFact
     """
     solver = GSimPlus(graph_a, graph_b, rank_cap="qr-compress")
     state = None
-    for state in solver.iterate(iterations):
+    for state in solver.iterate(iterations, context=context):
         pass
     assert state is not None and state.factors is not None
     return state.factors
@@ -59,6 +65,7 @@ def top_k_pairs(
     k: int,
     iterations: int = 10,
     block_rows: int = 1024,
+    context: ExecutionContext | None = None,
 ) -> list[ScoredPair]:
     """The ``k`` highest-similarity cross-graph pairs.
 
@@ -78,7 +85,7 @@ def top_k_pairs(
     """
     k = check_positive_integer(k, "k")
     block_rows = check_positive_integer(block_rows, "block_rows")
-    factors = _factors_for(graph_a, graph_b, iterations)
+    factors = _factors_for(graph_a, graph_b, iterations, context=context)
     n_a, n_b = factors.shape
     k = min(k, n_a * n_b)
     norm = factors.frobenius_norm(include_scale=False)
@@ -89,6 +96,10 @@ def top_k_pairs(
     v_t = factors.v.T
     for start in range(0, n_a, block_rows):
         stop = min(start + block_rows, n_a)
+        if context is not None:
+            context.checkpoint(f"top_k_pairs scan at row {start}")
+            context.metrics.increment("topk.blocks_scanned")
+            context.metrics.increment("topk.rows_scanned", stop - start)
         block = factors.u[start:stop] @ v_t  # (rows, n_B), bounded memory
         if len(heap) < k:
             # Seed the heap from the first block's top entries; the stable
@@ -123,6 +134,7 @@ def top_k_for_queries(
     queries_a: np.ndarray | list[int],
     k: int,
     iterations: int = 10,
+    context: ExecutionContext | None = None,
 ) -> dict[int, list[ScoredPair]]:
     """For each query node of ``G_A``, its ``k`` best matches in ``G_B``.
 
@@ -130,14 +142,17 @@ def top_k_for_queries(
     by node id for determinism).
     """
     k = check_positive_integer(k, "k")
-    rows = np.asarray(queries_a, dtype=np.int64)
-    factors = _factors_for(graph_a, graph_b, iterations)
-    if rows.size and (rows.min() < 0 or rows.max() >= factors.shape[0]):
-        raise IndexError("queries_a out of range")
+    factors = _factors_for(graph_a, graph_b, iterations, context=context)
+    rows = resolve_node_index(
+        queries_a, factors.shape[0], "queries_a",
+        allow_empty=True, allow_duplicates=True,
+    )
     k = min(k, factors.shape[1])
     norm = factors.frobenius_norm(include_scale=False)
     if norm == 0.0:
         raise ZeroDivisionError("similarity collapsed to zero; no ranking exists")
+    if context is not None:
+        context.checkpoint("top_k_for_queries row scan")
     block = factors.u[rows] @ factors.v.T  # (|Q_A|, n_B)
     results: dict[int, list[ScoredPair]] = {}
     for i, node_a in enumerate(rows):
@@ -146,4 +161,6 @@ def top_k_for_queries(
             ScoredPair(int(node_a), int(col), float(block[i, col]) / norm)
             for col in order
         ]
+    if context is not None:
+        context.metrics.increment("topk.rows_scanned", int(rows.size))
     return results

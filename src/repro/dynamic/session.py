@@ -7,7 +7,12 @@ version changes — GSim+'s cheap iteration is exactly what makes
 recompute-on-write viable where the dense baselines would be hopeless.
 
 The session reports simple staleness/recompute statistics so callers can
-reason about the cost of their update patterns.
+reason about the cost of their update patterns.  The counters live in a
+shared :class:`repro.runtime.Metrics` sink (under ``session.*``), so a
+caller passing its own :class:`repro.runtime.ExecutionContext` sees the
+session's activity folded into the same metric tree as the solver runs it
+triggers; :attr:`SimilaritySession.stats` remains a plain
+:class:`SessionStats` view over those counters.
 """
 
 from __future__ import annotations
@@ -19,6 +24,7 @@ import numpy as np
 from repro.core.embeddings import LowRankFactors
 from repro.core.gsim_plus import GSimPlus
 from repro.dynamic.graph import DynamicGraph
+from repro.runtime import ExecutionContext
 from repro.utils.validation import check_positive_integer
 
 __all__ = ["SessionStats", "SimilaritySession"]
@@ -55,13 +61,29 @@ class SimilaritySession:
         graph_a: DynamicGraph,
         graph_b: DynamicGraph,
         iterations: int = 10,
+        context: ExecutionContext | None = None,
     ) -> None:
         self._graph_a = graph_a
         self._graph_b = graph_b
         self.iterations = check_positive_integer(iterations, "iterations")
         self._factors: LowRankFactors | None = None
         self._built_versions: tuple[int, int] | None = None
-        self.stats = SessionStats()
+        self._context = context if context is not None else ExecutionContext()
+
+    @property
+    def context(self) -> ExecutionContext:
+        """The execution context the session charges its work against."""
+        return self._context
+
+    @property
+    def stats(self) -> SessionStats:
+        """Usage counters, read from the shared metrics sink."""
+        metrics = self._context.metrics
+        return SessionStats(
+            queries=int(metrics.counter("session.queries")),
+            recomputes=int(metrics.counter("session.recomputes")),
+            cache_hits=int(metrics.counter("session.cache_hits")),
+        )
 
     # ------------------------------------------------------------------
     # Cache management
@@ -78,18 +100,19 @@ class SimilaritySession:
         snapshot_b = self._graph_b.snapshot(name="B")
         solver = GSimPlus(snapshot_a, snapshot_b, rank_cap="qr-compress")
         state = None
-        for state in solver.iterate(self.iterations):
-            pass
+        with self._context.metrics.time("session.refresh"):
+            for state in solver.iterate(self.iterations, context=self._context):
+                pass
         assert state is not None and state.factors is not None
         self._factors = state.factors
         self._built_versions = (self._graph_a.version, self._graph_b.version)
-        self.stats.recomputes += 1
+        self._context.metrics.increment("session.recomputes")
 
     def _current_factors(self) -> LowRankFactors:
         if self.stale:
             self.refresh()
         else:
-            self.stats.cache_hits += 1
+            self._context.metrics.increment("session.cache_hits")
         assert self._factors is not None
         return self._factors
 
@@ -111,7 +134,7 @@ class SimilaritySession:
         if normalization not in ("block", "global"):
             raise ValueError(f"unknown normalization {normalization!r}")
         factors = self._current_factors()
-        self.stats.queries += 1
+        self._context.metrics.increment("session.queries")
         block = factors.query_block(queries_a, queries_b, include_scale=False)
         if normalization == "block":
             denominator = float(np.linalg.norm(block))
@@ -125,7 +148,7 @@ class SimilaritySession:
         """The ``k`` most similar G_B nodes for one G_A node, with scores."""
         k = check_positive_integer(k, "k")
         factors = self._current_factors()
-        self.stats.queries += 1
+        self._context.metrics.increment("session.queries")
         norm = factors.frobenius_norm(include_scale=False)
         if norm == 0.0:
             raise ZeroDivisionError("similarity collapsed to zero")

@@ -23,7 +23,7 @@ from repro.experiments.runner import (
     RunRecord,
     run_algorithm,
 )
-from repro.graphs.datasets import DATASETS, load_dataset_pair
+from repro.graphs.datasets import load_dataset_pair
 from repro.graphs.graph import Graph
 from repro.graphs.sampling import random_node_sample
 from repro.workloads.queries import make_workload

@@ -13,17 +13,27 @@ the harness predicts resource usage with the Table 1 cost models
 * a predicted runtime above :class:`Deadline` raises
   :class:`DeadlineExceeded` → recorded as ``TIMEOUT``.
 
-Runs that pass the prediction gate execute for real and are measured with
-:class:`repro.utils.timing.Stopwatch` / tracemalloc.  DESIGN.md §4 records
-this substitution.
+Runs that pass the prediction gate execute for real under an armed
+:class:`repro.runtime.ExecutionContext` (live deadline + memory ledger)
+and are measured with :class:`repro.utils.timing.Stopwatch` / tracemalloc.
+DESIGN.md §4 records this substitution.
+
+This module is now a façade: the guard implementations live in
+:mod:`repro.runtime` (one enforcement layer shared by the experiments
+harness and the library's compute loops); the historical names are
+re-exported here so experiment code and tests keep importing from
+``repro.experiments.guards``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-from repro.utils.deadline import DeadlineExceeded, WallClockDeadline
-from repro.utils.memory import format_bytes
+from repro.runtime import (
+    Deadline,
+    DeadlineExceeded,
+    MemoryBudget,
+    MemoryBudgetExceeded,
+    WallClockDeadline,
+)
 
 __all__ = [
     "Deadline",
@@ -32,72 +42,3 @@ __all__ = [
     "MemoryBudgetExceeded",
     "WallClockDeadline",
 ]
-
-
-class MemoryBudgetExceeded(RuntimeError):
-    """Predicted working set exceeds the experiment's memory budget."""
-
-
-@dataclass(frozen=True)
-class MemoryBudget:
-    """A byte ceiling for one experiment cell.
-
-    The default of 256 MiB is calibrated so that, on the ``small`` scale
-    profile, the dense baselines survive the scaled HP and EE datasets but
-    crash on WT/UK/IT — the same survival pattern as the paper's Figure 6
-    at full scale (where the wall sits between EE's 21 GB and WT's 192 GB
-    dense similarity matrix).
-    """
-
-    limit_bytes: int = 256 * 1024 * 1024
-
-    def check(self, predicted_bytes: float, what: str) -> None:
-        """Raise :class:`MemoryBudgetExceeded` when over budget."""
-        if predicted_bytes > self.limit_bytes:
-            raise MemoryBudgetExceeded(
-                f"{what}: predicted {format_bytes(predicted_bytes)} exceeds "
-                f"budget {format_bytes(self.limit_bytes)}"
-            )
-
-    def allows(self, predicted_bytes: float) -> bool:
-        """Non-raising variant of :meth:`check`."""
-        return predicted_bytes <= self.limit_bytes
-
-
-@dataclass(frozen=True)
-class Deadline:
-    """A wall-clock ceiling for one experiment cell.
-
-    ``limit_seconds`` plays the role of the paper's "one day"; the default
-    of 20 s keeps full figure regeneration to minutes on this hardware
-    while preserving which algorithms do and do not finish.
-
-    Enforcement is two-stage.  The *predictive* stage
-    (:meth:`check_predicted`) vetoes a run outright only when the cost
-    model predicts at least ``predictive_factor`` times the budget —
-    cost models are worst-case, so borderline cells still get attempted.
-    Attempted cells run under a cooperative
-    :class:`repro.utils.deadline.WallClockDeadline` armed via :meth:`arm`,
-    which stops them at the real limit.
-    """
-
-    limit_seconds: float = 20.0
-    predictive_factor: float = 30.0
-
-    def check_predicted(self, predicted_seconds: float, what: str) -> None:
-        """Raise :class:`DeadlineExceeded` for clearly hopeless cells."""
-        ceiling = self.limit_seconds * self.predictive_factor
-        if predicted_seconds > ceiling:
-            raise DeadlineExceeded(
-                f"{what}: predicted {predicted_seconds:.1f}s exceeds "
-                f"{ceiling:.0f}s ({self.predictive_factor:.0f}x the "
-                f"{self.limit_seconds:.1f}s budget)"
-            )
-
-    def arm(self) -> WallClockDeadline:
-        """Start a cooperative wall-clock deadline for one run."""
-        return WallClockDeadline(self.limit_seconds)
-
-    def allows(self, predicted_seconds: float) -> bool:
-        """Whether the predictive stage would let this cell run."""
-        return predicted_seconds <= self.limit_seconds * self.predictive_factor

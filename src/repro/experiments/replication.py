@@ -11,7 +11,7 @@ under every seed is a *robust* crash, which is itself a finding).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.experiments.guards import Deadline, MemoryBudget
 from repro.experiments.runner import ALGORITHMS, Outcome, RunRecord, run_algorithm

@@ -10,7 +10,11 @@ Every experiment driver goes through :func:`run_algorithm`:
 
 The :data:`ALGORITHMS` registry holds one :class:`AlgorithmSpec` per
 competitor with a uniform call signature
-``run(graph_a, graph_b, queries_a, queries_b, iterations) -> ndarray``.
+``run(graph_a, graph_b, queries_a, queries_b, iterations, context) ->
+ndarray``.  Measured runs execute under one
+:class:`repro.runtime.ExecutionContext` per cell — armed wall-clock
+deadline, live memory ledger, and a metrics sink whose snapshot is stored
+on the resulting :class:`RunRecord`.
 """
 
 from __future__ import annotations
@@ -35,7 +39,7 @@ from repro.experiments.guards import (
     MemoryBudgetExceeded,
 )
 from repro.graphs.graph import Graph
-from repro.utils.deadline import WallClockDeadline
+from repro.runtime import BudgetExceeded, ExecutionContext
 from repro.utils.memory import MemoryTracker
 from repro.utils.timing import Stopwatch
 
@@ -49,7 +53,7 @@ __all__ = [
 ]
 
 RunFn = Callable[
-    [Graph, Graph, np.ndarray, np.ndarray, int, "WallClockDeadline | None"],
+    [Graph, Graph, np.ndarray, np.ndarray, int, "ExecutionContext | None"],
     np.ndarray,
 ]
 
@@ -109,6 +113,7 @@ class RunRecord:
     predicted_bytes: float | None = None
     params: dict[str, object] = field(default_factory=dict)
     note: str = ""
+    metrics: dict | None = None
 
     @property
     def ok(self) -> bool:
@@ -156,11 +161,15 @@ def _run_gsim_plus(
     queries_a: np.ndarray,
     queries_b: np.ndarray,
     iterations: int,
-    deadline: WallClockDeadline | None = None,
+    context: ExecutionContext | None = None,
 ) -> np.ndarray:
-    del deadline  # GSim+ never comes close to a deadline on these scales.
     return gsim_plus(
-        graph_a, graph_b, iterations=iterations, queries_a=queries_a, queries_b=queries_b
+        graph_a,
+        graph_b,
+        iterations=iterations,
+        queries_a=queries_a,
+        queries_b=queries_b,
+        context=context,
     ).similarity
 
 
@@ -170,10 +179,9 @@ def _run_gsvd(
     queries_a: np.ndarray,
     queries_b: np.ndarray,
     iterations: int,
-    deadline: WallClockDeadline | None = None,
+    context: ExecutionContext | None = None,
 ) -> np.ndarray:
-    del deadline  # per-iteration cost is small at these scales.
-    result = gsvd(graph_a, graph_b, iterations=iterations, rank=10)
+    result = gsvd(graph_a, graph_b, iterations=iterations, rank=10, context=context)
     return result.query_block(queries_a, queries_b)
 
 
@@ -183,10 +191,10 @@ def _run_gsim(
     queries_a: np.ndarray,
     queries_b: np.ndarray,
     iterations: int,
-    deadline: WallClockDeadline | None = None,
+    context: ExecutionContext | None = None,
 ) -> np.ndarray:
     return gsim_partial(
-        graph_a, graph_b, queries_a, queries_b, iterations=iterations, deadline=deadline
+        graph_a, graph_b, queries_a, queries_b, iterations=iterations, context=context
     ).similarity
 
 
@@ -196,10 +204,10 @@ def _run_structsim(
     queries_a: np.ndarray,
     queries_b: np.ndarray,
     iterations: int,
-    deadline: WallClockDeadline | None = None,
+    context: ExecutionContext | None = None,
 ) -> np.ndarray:
     return structsim_query(
-        graph_a, graph_b, queries_a, queries_b, levels=iterations, deadline=deadline
+        graph_a, graph_b, queries_a, queries_b, levels=iterations, context=context
     )
 
 
@@ -209,7 +217,7 @@ def _run_ned(
     queries_a: np.ndarray,
     queries_b: np.ndarray,
     iterations: int,
-    deadline: WallClockDeadline | None = None,
+    context: ExecutionContext | None = None,
 ) -> np.ndarray:
     # NED's tree depth plays the role of k; depth 3 already explodes on
     # non-trivial graphs (the point the paper makes), so cap it there and
@@ -217,7 +225,7 @@ def _run_ned(
     depth = min(iterations, 3)
     return ned_query(
         graph_a, graph_b, queries_a, queries_b, depth=depth,
-        size_limit=500_000, deadline=deadline,
+        size_limit=500_000, context=context,
     )
 
 
@@ -227,13 +235,13 @@ def _run_rolesim(
     queries_a: np.ndarray,
     queries_b: np.ndarray,
     iterations: int,
-    deadline: WallClockDeadline | None = None,
+    context: ExecutionContext | None = None,
 ) -> np.ndarray:
     # RoleSim converges within a handful of iterations; cap at 3 so the
     # all-pairs loops get a fighting chance on the smallest profile.
     return rolesim_query(
         graph_a, graph_b, queries_a, queries_b,
-        iterations=min(iterations, 3), deadline=deadline,
+        iterations=min(iterations, 3), context=context,
     )
 
 
@@ -329,6 +337,10 @@ def run_algorithm(
 
     Never raises for resource vetoes — those come back as OOM/TIMEOUT
     records, exactly like the crossed-out cells in the paper's figures.
+    Attempted cells run under an :class:`repro.runtime.ExecutionContext`
+    carrying the armed deadline and a live memory ledger; the context's
+    metric snapshot (including partial metrics from interrupted runs) is
+    stored on the record.
     """
     memory_budget = memory_budget or MemoryBudget()
     deadline = deadline or Deadline()
@@ -365,32 +377,53 @@ def run_algorithm(
         return record
 
     stopwatch = Stopwatch()
+    context = ExecutionContext(
+        deadline=deadline.arm(), memory=memory_budget.ledger()
+    )
     try:
         with MemoryTracker() as tracker:
             with stopwatch:
                 spec.run(
-                    graph_a, graph_b, queries_a, queries_b, iterations, deadline.arm()
+                    graph_a, graph_b, queries_a, queries_b, iterations, context
                 )
     except DeadlineExceeded as exc:
         record.outcome = Outcome.TIMEOUT
         record.note = str(exc)
+        record.metrics = exc.metrics or context.snapshot()
+        return record
+    except MemoryBudgetExceeded as exc:
+        # The live ledger caught a working set the predictive model missed
+        # (e.g. GSim+'s dense rank-cap fallback).
+        record.outcome = Outcome.OOM
+        record.note = str(exc)
+        record.metrics = exc.metrics or context.snapshot()
         return record
     except TreeSizeLimitExceeded as exc:
         # NED's k-adjacent trees blew past their cap — the paper reports
         # this as NED being "unresponsive".
         record.outcome = Outcome.TIMEOUT
         record.note = str(exc)
+        record.metrics = context.snapshot()
+        return record
+    except BudgetExceeded as exc:
+        # Remaining structured interruptions (e.g. cancellation).
+        record.outcome = Outcome.ERROR
+        record.note = str(exc)
+        record.metrics = exc.metrics or context.snapshot()
         return record
     except MemoryError as exc:  # pragma: no cover - defensive
         record.outcome = Outcome.OOM
         record.note = str(exc)
+        record.metrics = context.snapshot()
         return record
     except ZeroDivisionError as exc:
         # Degenerate instance (e.g. an edgeless G_B sample): the similarity
         # iterate collapsed.  Record rather than crash the whole figure.
         record.outcome = Outcome.ERROR
         record.note = str(exc)
+        record.metrics = context.snapshot()
         return record
     record.seconds = stopwatch.elapsed
     record.memory_bytes = float(tracker.peak_bytes)
+    record.metrics = context.snapshot()
     return record

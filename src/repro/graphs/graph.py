@@ -22,7 +22,7 @@ from typing import Iterable, Iterator
 import numpy as np
 import scipy.sparse as sp
 
-from repro.utils.validation import check_nonnegative_integer
+from repro.utils.validation import check_nonnegative_integer, resolve_node_index
 
 __all__ = ["Graph"]
 
@@ -228,11 +228,13 @@ class Graph:
         Node order in ``nodes`` determines the new labels; duplicates are
         rejected.
         """
-        index = np.asarray(list(nodes), dtype=np.int64)
-        if index.size != np.unique(index).size:
-            raise ValueError("subgraph nodes contain duplicates")
-        if index.size and (index.min() < 0 or index.max() >= self.num_nodes):
-            raise ValueError("subgraph nodes out of range")
+        index = resolve_node_index(
+            list(nodes),
+            self.num_nodes,
+            "subgraph nodes",
+            allow_empty=True,
+            bounds_error=ValueError,
+        )
         sub = self._adj[index][:, index]
         return Graph(sub, name=name or f"{self._name}-sub{index.size}")
 

@@ -21,11 +21,13 @@ from repro.core.embeddings import LowRankFactors
 from repro.core.gsim_plus import GSimPlus
 from repro.core.topk import ScoredPair
 from repro.graphs.graph import Graph
+from repro.runtime import ExecutionContext, Metrics
 from repro.utils.validation import check_positive_integer
 
 __all__ = ["GSimIndex", "IndexMetadata"]
 
-_METADATA_VERSION = 1
+# v2 added ``build_metrics``; older (v1) files load with it defaulted.
+_METADATA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -41,6 +43,7 @@ class IndexMetadata:
     graph_b_name: str
     content_prior: bool
     metadata_version: int = _METADATA_VERSION
+    build_metrics: dict | None = None
 
 
 class GSimIndex:
@@ -76,10 +79,20 @@ class GSimIndex:
         graph_b: Graph,
         iterations: int = 10,
         initial_factors: tuple[np.ndarray, np.ndarray] | None = None,
+        context: ExecutionContext | None = None,
     ) -> "GSimIndex":
         """Iterate GSim+ (QR-compressed cap, so the result stays factored)
-        and wrap the final factors."""
+        and wrap the final factors.
+
+        Build-time counters (spmm calls, per-iteration widths, bytes held)
+        are recorded in a fresh :class:`repro.runtime.ExecutionContext`
+        when none is passed, and persisted in
+        :attr:`IndexMetadata.build_metrics` either way — so a served score
+        can be traced back to the run that produced the factors.
+        """
         iterations = check_positive_integer(iterations, "iterations")
+        if context is None:
+            context = ExecutionContext(metrics=Metrics())
         solver = GSimPlus(
             graph_a,
             graph_b,
@@ -87,8 +100,9 @@ class GSimIndex:
             initial_factors=initial_factors,
         )
         state = None
-        for state in solver.iterate(iterations):
-            pass
+        with context.metrics.time("index.build"):
+            for state in solver.iterate(iterations, context=context):
+                pass
         assert state is not None and state.factors is not None
         metadata = IndexMetadata(
             n_a=graph_a.num_nodes,
@@ -99,6 +113,7 @@ class GSimIndex:
             graph_a_name=graph_a.name,
             graph_b_name=graph_b.name,
             content_prior=initial_factors is not None,
+            build_metrics=context.metrics.snapshot(),
         )
         return cls(state.factors, metadata)
 
@@ -163,29 +178,39 @@ class GSimIndex:
         self,
         queries_a: np.ndarray | list[int],
         queries_b: np.ndarray | list[int],
+        context: ExecutionContext | None = None,
     ) -> np.ndarray:
         """A globally-normalised similarity block."""
-        return self._engine.query(queries_a, queries_b)
+        return self._engine.query(queries_a, queries_b, context=context)
 
-    def top_matches(self, node_a: int, k: int = 10) -> list[ScoredPair]:
+    def top_matches(
+        self, node_a: int, k: int = 10, context: ExecutionContext | None = None
+    ) -> list[ScoredPair]:
         """The ``k`` best G_B matches for one G_A node."""
         k = check_positive_integer(k, "k")
         if not (0 <= node_a < self.shape[0]):
             raise IndexError(f"node {node_a} out of range")
-        row = self._engine.query([node_a], np.arange(self.shape[1]))[0]
+        row = self._engine.query([node_a], np.arange(self.shape[1]), context=context)[0]
         order = np.argsort(-row, kind="stable")[: min(k, row.size)]
         return [
             ScoredPair(node_a=node_a, node_b=int(col), score=float(row[col]))
             for col in order
         ]
 
-    def top_pairs(self, k: int = 10, block_rows: int = 1024) -> list[ScoredPair]:
+    def top_pairs(
+        self,
+        k: int = 10,
+        block_rows: int = 1024,
+        context: ExecutionContext | None = None,
+    ) -> list[ScoredPair]:
         """The ``k`` globally best pairs, scanned under bounded memory."""
         k = check_positive_integer(k, "k")
         import heapq
 
         heap: list[tuple[float, int, int]] = []
-        for start, block in self._engine.stream_rows(block_rows=block_rows):
+        for start, block in self._engine.stream_rows(
+            block_rows=block_rows, context=context
+        ):
             if len(heap) < k:
                 flat = np.argsort(-block, axis=None, kind="stable")[:k]
                 for index in flat:

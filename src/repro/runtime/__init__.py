@@ -1,0 +1,44 @@
+"""Runtime layer: execution contexts, budgets, cancellation, metrics.
+
+Sits between :mod:`repro.utils` and the compute layers.  Every solver,
+retrieval, and serving loop in the library accepts an optional
+:class:`ExecutionContext` and, when given one, polls its deadline and
+cancellation token at checkpoints, charges working sets against its live
+memory ledger, and records counters/timers/series into its
+:class:`Metrics` sink.  Budget breaches surface as structured
+:class:`BudgetExceeded` failures carrying the metrics collected so far.
+
+The experiment guards (:mod:`repro.experiments.guards`) are thin
+re-exports of :class:`Deadline` / :class:`MemoryBudget`, so predictive
+gating (cost-model OOM/TIMEOUT substitution) and in-loop enforcement
+share one implementation.
+"""
+
+from repro.runtime.budget import (
+    Deadline,
+    MemoryBudget,
+    MemoryLedger,
+    WallClockDeadline,
+)
+from repro.runtime.context import CancellationToken, ExecutionContext
+from repro.runtime.errors import (
+    BudgetExceeded,
+    Cancelled,
+    DeadlineExceeded,
+    MemoryBudgetExceeded,
+)
+from repro.runtime.metrics import Metrics
+
+__all__ = [
+    "BudgetExceeded",
+    "CancellationToken",
+    "Cancelled",
+    "Deadline",
+    "DeadlineExceeded",
+    "ExecutionContext",
+    "MemoryBudget",
+    "MemoryBudgetExceeded",
+    "MemoryLedger",
+    "Metrics",
+    "WallClockDeadline",
+]

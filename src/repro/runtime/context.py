@@ -1,0 +1,195 @@
+"""The ExecutionContext: one object a compute loop polls and reports to.
+
+Every long-running entry point in the library accepts an optional
+``context`` and, when given one, does four things at each natural
+checkpoint (an iteration, a row block, a query pair):
+
+1. **poll the deadline** — :meth:`ExecutionContext.checkpoint` raises a
+   structured :class:`repro.runtime.errors.DeadlineExceeded` once the
+   armed wall-clock budget runs out;
+2. **poll the cancellation token** — a caller (another thread, a signal
+   handler) flips :meth:`CancellationToken.cancel` and the loop stops at
+   its next checkpoint with :class:`repro.runtime.errors.Cancelled`;
+3. **charge working sets** — :meth:`ExecutionContext.charge` accounts
+   bytes against the live :class:`repro.runtime.budget.MemoryLedger`
+   *before* allocating, converting would-be OOMs into clean structured
+   failures;
+4. **record metrics** — counters/timers/series on
+   :attr:`ExecutionContext.metrics`.
+
+Passing no context costs nothing: every instrumented loop guards with
+``if context is not None`` so the no-context path is byte-for-byte the
+historical behaviour.  All structured failures carry a metrics snapshot,
+so an interrupted run still reports how far it got.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+from repro.runtime.budget import MemoryLedger, WallClockDeadline
+from repro.runtime.errors import Cancelled, DeadlineExceeded, MemoryBudgetExceeded
+from repro.runtime.metrics import Metrics
+
+__all__ = ["CancellationToken", "ExecutionContext"]
+
+
+class CancellationToken:
+    """A thread-safe one-way flag polled at checkpoints.
+
+    Examples
+    --------
+    >>> token = CancellationToken()
+    >>> token.cancelled
+    False
+    >>> token.cancel()
+    >>> token.cancelled
+    True
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+
+    def cancel(self) -> None:
+        """Request cancellation; irreversible."""
+        self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether cancellation has been requested."""
+        return self._event.is_set()
+
+
+class ExecutionContext:
+    """Deadline + memory budget + cancellation + metrics for one run.
+
+    Parameters
+    ----------
+    deadline:
+        An armed :class:`repro.runtime.budget.WallClockDeadline`, or
+        ``None`` for no time budget.
+    memory:
+        A live :class:`repro.runtime.budget.MemoryLedger`, or ``None``
+        for no memory budget.
+    cancellation:
+        A :class:`CancellationToken` shared with whoever may cancel.
+    metrics:
+        The :class:`repro.runtime.metrics.Metrics` sink; a fresh one is
+        created when omitted, so ``ExecutionContext()`` is a pure
+        metrics-collection context with no budgets at all.
+
+    Examples
+    --------
+    >>> context = ExecutionContext.start(deadline_seconds=60.0)
+    >>> context.checkpoint("warm-up")   # within budget: no-op
+    >>> context.metrics.increment("demo.steps")
+    >>> context.metrics.counter("demo.steps")
+    1.0
+    """
+
+    __slots__ = ("deadline", "memory", "cancellation", "metrics")
+
+    def __init__(
+        self,
+        deadline: WallClockDeadline | None = None,
+        memory: MemoryLedger | None = None,
+        cancellation: CancellationToken | None = None,
+        metrics: Metrics | None = None,
+    ) -> None:
+        self.deadline = deadline
+        self.memory = memory
+        self.cancellation = cancellation
+        self.metrics = metrics if metrics is not None else Metrics()
+
+    @classmethod
+    def start(
+        cls,
+        deadline_seconds: float | None = None,
+        memory_limit_bytes: int | None = None,
+        cancellation: CancellationToken | None = None,
+        metrics: Metrics | None = None,
+    ) -> "ExecutionContext":
+        """Arm a context from plain limits (the common construction)."""
+        deadline = (
+            WallClockDeadline(deadline_seconds)
+            if deadline_seconds is not None
+            else None
+        )
+        memory = (
+            MemoryLedger(memory_limit_bytes)
+            if memory_limit_bytes is not None
+            else None
+        )
+        return cls(
+            deadline=deadline,
+            memory=memory,
+            cancellation=cancellation,
+            metrics=metrics,
+        )
+
+    # ------------------------------------------------------------------
+    # Cooperative enforcement
+    # ------------------------------------------------------------------
+    def checkpoint(self, what: str = "computation") -> None:
+        """Poll cancellation and deadline; raise structured failures.
+
+        Raised exceptions carry :meth:`Metrics.snapshot` of everything
+        recorded so far.
+        """
+        if self.cancellation is not None and self.cancellation.cancelled:
+            raise Cancelled(
+                f"{what} cancelled", metrics=self.metrics.snapshot()
+            )
+        if self.deadline is not None and self.deadline.expired:
+            raise DeadlineExceeded(
+                f"{what} exceeded its {self.deadline.limit_seconds:.1f}s "
+                "wall-clock budget",
+                metrics=self.metrics.snapshot(),
+            )
+
+    def charge(self, num_bytes: float, what: str = "allocation") -> None:
+        """Charge a working set against the ledger (no-op without one).
+
+        On a breach the raised
+        :class:`repro.runtime.errors.MemoryBudgetExceeded` carries the
+        metrics snapshot; on success the peak is mirrored into the
+        ``memory.peak_bytes`` gauge.
+        """
+        if self.memory is None:
+            return
+        try:
+            self.memory.charge(num_bytes, what)
+        except MemoryBudgetExceeded as exc:
+            exc.metrics = self.metrics.snapshot()
+            raise
+        self.metrics.record_max("memory.peak_bytes", self.memory.peak_bytes)
+
+    def release(self, num_bytes: float) -> None:
+        """Return a charged working set to the ledger (no-op without one)."""
+        if self.memory is not None:
+            self.memory.release(num_bytes)
+
+    def snapshot(self) -> dict[str, Any]:
+        """The metrics snapshot, with live budget state folded in."""
+        snap = self.metrics.snapshot()
+        if self.deadline is not None:
+            snap["gauges"]["deadline.elapsed_seconds"] = self.deadline.elapsed
+            snap["gauges"]["deadline.limit_seconds"] = self.deadline.limit_seconds
+        if self.memory is not None:
+            snap["gauges"]["memory.held_bytes"] = self.memory.held_bytes
+            snap["gauges"]["memory.peak_bytes"] = self.memory.peak_bytes
+            snap["gauges"]["memory.limit_bytes"] = self.memory.limit_bytes
+        return snap
+
+    def __repr__(self) -> str:
+        parts = []
+        if self.deadline is not None:
+            parts.append(f"deadline={self.deadline.limit_seconds:.1f}s")
+        if self.memory is not None:
+            parts.append(f"memory={self.memory.limit_bytes}B")
+        if self.cancellation is not None:
+            parts.append(f"cancelled={self.cancellation.cancelled}")
+        return f"ExecutionContext({', '.join(parts)})"

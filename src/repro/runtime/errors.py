@@ -1,0 +1,62 @@
+"""Structured budget failures.
+
+Every cooperative abort in the runtime layer raises a subclass of
+:class:`BudgetExceeded` so callers can (a) distinguish *why* a run was
+stopped via :attr:`BudgetExceeded.reason` and (b) recover the metrics
+collected up to the abort via :attr:`BudgetExceeded.metrics` — a run that
+hits its budget still tells you how far it got.
+
+The hierarchy deliberately keeps the historical class names
+(:class:`DeadlineExceeded`, :class:`MemoryBudgetExceeded`) that the
+baselines and the experiment harness have always raised/caught; they are
+now structured instead of bare ``RuntimeError`` subclasses.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = [
+    "BudgetExceeded",
+    "Cancelled",
+    "DeadlineExceeded",
+    "MemoryBudgetExceeded",
+]
+
+
+class BudgetExceeded(RuntimeError):
+    """A computation was stopped by a resource budget or cancellation.
+
+    Attributes
+    ----------
+    reason:
+        One of ``"budget"``, ``"deadline"``, ``"memory"``, ``"cancelled"``.
+    metrics:
+        Snapshot (see :meth:`repro.runtime.metrics.Metrics.snapshot`) of the
+        metrics collected before the abort, or ``None`` when the failure was
+        raised outside an :class:`repro.runtime.context.ExecutionContext`.
+    """
+
+    reason: str = "budget"
+
+    def __init__(self, message: str, *, metrics: dict[str, Any] | None = None) -> None:
+        super().__init__(message)
+        self.metrics = metrics
+
+
+class DeadlineExceeded(BudgetExceeded):
+    """A computation ran (or is predicted to run) past its time budget."""
+
+    reason = "deadline"
+
+
+class MemoryBudgetExceeded(BudgetExceeded):
+    """A working set (live or predicted) exceeds the memory budget."""
+
+    reason = "memory"
+
+
+class Cancelled(BudgetExceeded):
+    """A computation observed its cancellation token at a checkpoint."""
+
+    reason = "cancelled"

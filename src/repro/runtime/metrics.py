@@ -1,0 +1,177 @@
+"""Thread-safe named counters, timers, gauges, and per-step series.
+
+One :class:`Metrics` instance is the observability sink of an
+:class:`repro.runtime.context.ExecutionContext`.  Four kinds of
+measurement are supported, all keyed by dot-separated names
+(``"<layer>.<quantity>"`` by convention, e.g. ``"gsim_plus.spmm"`` or
+``"batch.blocks_served"``):
+
+* **counters** — monotonically accumulated floats (:meth:`increment`);
+* **timers** — total seconds plus call count (:meth:`time` /
+  :meth:`add_time`);
+* **gauges** — last/max values (:meth:`set_gauge` / :meth:`record_max`);
+* **series** — ordered per-step observations such as the factor width per
+  iteration (:meth:`observe`).
+
+All mutators take one internal lock, so worker threads (e.g. the
+``BatchQueryEngine`` thread pool) can aggregate into a shared instance
+without losing increments.  :meth:`snapshot` returns a deep, JSON-ready
+copy that later mutation cannot alter — that is what a structured
+:class:`repro.runtime.errors.BudgetExceeded` carries.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+__all__ = ["Metrics"]
+
+
+def _tidy(value: float) -> float | int:
+    """Render integral floats as ints in snapshots (JSON neatness)."""
+    return int(value) if float(value).is_integer() else float(value)
+
+
+class Metrics:
+    """A hierarchy-free bag of named measurements.
+
+    Examples
+    --------
+    >>> metrics = Metrics()
+    >>> metrics.increment("solver.iterations")
+    >>> metrics.increment("solver.spmm", 4)
+    >>> metrics.observe("solver.width", 2)
+    >>> metrics.counter("solver.spmm")
+    4.0
+    >>> snap = metrics.snapshot()
+    >>> snap["counters"]["solver.iterations"], snap["series"]["solver.width"]
+    (1, [2])
+    """
+
+    __slots__ = ("_lock", "_counters", "_timers", "_gauges", "_series")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, float] = {}
+        self._timers: dict[str, list[float]] = {}  # name -> [seconds, calls]
+        self._gauges: dict[str, float] = {}
+        self._series: dict[str, list[float]] = {}
+
+    # ------------------------------------------------------------------
+    # Counters
+    # ------------------------------------------------------------------
+    def increment(self, name: str, amount: float = 1.0) -> None:
+        """Add ``amount`` to the counter ``name`` (creating it at 0)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0.0) + float(amount)
+
+    def counter(self, name: str) -> float:
+        """Current value of counter ``name`` (0.0 when never incremented)."""
+        with self._lock:
+            return self._counters.get(name, 0.0)
+
+    # ------------------------------------------------------------------
+    # Timers
+    # ------------------------------------------------------------------
+    def add_time(self, name: str, seconds: float) -> None:
+        """Fold ``seconds`` into timer ``name`` and bump its call count."""
+        with self._lock:
+            entry = self._timers.setdefault(name, [0.0, 0.0])
+            entry[0] += float(seconds)
+            entry[1] += 1.0
+
+    @contextmanager
+    def time(self, name: str) -> Iterator[None]:
+        """Context manager measuring its block's wall time into ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add_time(name, time.perf_counter() - start)
+
+    # ------------------------------------------------------------------
+    # Gauges
+    # ------------------------------------------------------------------
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value`` (last write wins)."""
+        with self._lock:
+            self._gauges[name] = float(value)
+
+    def record_max(self, name: str, value: float) -> None:
+        """Raise gauge ``name`` to ``value`` if larger (peak tracking)."""
+        with self._lock:
+            current = self._gauges.get(name)
+            if current is None or value > current:
+                self._gauges[name] = float(value)
+
+    def gauge(self, name: str) -> float | None:
+        """Current value of gauge ``name`` (None when never set)."""
+        with self._lock:
+            return self._gauges.get(name)
+
+    # ------------------------------------------------------------------
+    # Series
+    # ------------------------------------------------------------------
+    def observe(self, name: str, value: float) -> None:
+        """Append ``value`` to the ordered series ``name``."""
+        with self._lock:
+            self._series.setdefault(name, []).append(float(value))
+
+    def series(self, name: str) -> list[float]:
+        """A copy of series ``name`` (empty when never observed)."""
+        with self._lock:
+            return list(self._series.get(name, ()))
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        """A deep, JSON-serialisable copy of every measurement."""
+        with self._lock:
+            return {
+                "counters": {
+                    name: _tidy(value) for name, value in sorted(self._counters.items())
+                },
+                "timers": {
+                    name: {"seconds": float(entry[0]), "calls": int(entry[1])}
+                    for name, entry in sorted(self._timers.items())
+                },
+                "gauges": {
+                    name: _tidy(value) for name, value in sorted(self._gauges.items())
+                },
+                "series": {
+                    name: [_tidy(value) for value in values]
+                    for name, values in sorted(self._series.items())
+                },
+            }
+
+    def merge_snapshot(self, snapshot: dict[str, Any]) -> None:
+        """Fold a :meth:`snapshot` from another instance into this one.
+
+        Counters and timers add, gauges take the max, series extend — the
+        right semantics for aggregating per-cell metrics into a session
+        total.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.increment(name, value)
+        for name, entry in snapshot.get("timers", {}).items():
+            with self._lock:
+                slot = self._timers.setdefault(name, [0.0, 0.0])
+                slot[0] += float(entry["seconds"])
+                slot[1] += float(entry["calls"])
+        for name, value in snapshot.get("gauges", {}).items():
+            self.record_max(name, value)
+        for name, values in snapshot.get("series", {}).items():
+            with self._lock:
+                self._series.setdefault(name, []).extend(float(v) for v in values)
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return (
+                f"Metrics(counters={len(self._counters)}, "
+                f"timers={len(self._timers)}, gauges={len(self._gauges)}, "
+                f"series={len(self._series)})"
+            )

@@ -12,6 +12,7 @@ from repro.utils.validation import (
     check_nonnegative_integer,
     check_positive_integer,
     check_probability,
+    resolve_node_index,
 )
 
 __all__ = [
@@ -24,6 +25,7 @@ __all__ = [
     "dense_matrix_bytes",
     "ensure_rng",
     "format_bytes",
+    "resolve_node_index",
     "spawn_rngs",
     "time_call",
 ]

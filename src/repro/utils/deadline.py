@@ -1,61 +1,24 @@
-"""Cooperative wall-clock deadlines.
+"""Compatibility shim — the deadline machinery now lives in
+:mod:`repro.runtime.budget` / :mod:`repro.runtime.errors`.
 
-Python cannot preempt a running computation, so long-running baselines
-(RoleSim's pair loops, NED's tree matching, the dense GSim iteration)
-accept an optional :class:`WallClockDeadline` and call :meth:`check` at
-natural checkpoints — between iterations, pairs, or rows.  Exceeding the
-deadline raises :class:`DeadlineExceeded`, which the experiment runner
-records as the paper's "did not finish within one day" outcome.
+Historic import sites (`from repro.utils.deadline import WallClockDeadline,
+DeadlineExceeded`) keep working; new code should import from
+:mod:`repro.runtime`, which also provides the richer
+:class:`repro.runtime.context.ExecutionContext` wrapper.
+
+Examples
+--------
+>>> deadline = WallClockDeadline(limit_seconds=60.0)
+>>> deadline.expired
+False
+>>> import repro.runtime
+>>> WallClockDeadline is repro.runtime.WallClockDeadline
+True
 """
 
 from __future__ import annotations
 
-import time
+from repro.runtime.budget import WallClockDeadline
+from repro.runtime.errors import DeadlineExceeded
 
 __all__ = ["DeadlineExceeded", "WallClockDeadline"]
-
-
-class DeadlineExceeded(RuntimeError):
-    """A computation ran (or is predicted to run) past its time budget."""
-
-
-class WallClockDeadline:
-    """A deadline anchored at construction time.
-
-    Examples
-    --------
-    >>> deadline = WallClockDeadline(60.0)
-    >>> deadline.check("warm-up")  # no-op while within budget
-    >>> deadline.expired
-    False
-    """
-
-    __slots__ = ("limit_seconds", "_start")
-
-    def __init__(self, limit_seconds: float) -> None:
-        if limit_seconds <= 0:
-            raise ValueError(f"limit_seconds must be positive, got {limit_seconds}")
-        self.limit_seconds = float(limit_seconds)
-        self._start = time.perf_counter()
-
-    @property
-    def elapsed(self) -> float:
-        """Seconds since the deadline was armed."""
-        return time.perf_counter() - self._start
-
-    @property
-    def remaining(self) -> float:
-        """Seconds left (negative once expired)."""
-        return self.limit_seconds - self.elapsed
-
-    @property
-    def expired(self) -> bool:
-        """Whether the budget has run out."""
-        return self.remaining < 0.0
-
-    def check(self, what: str = "computation") -> None:
-        """Raise :class:`DeadlineExceeded` once the budget is exhausted."""
-        if self.expired:
-            raise DeadlineExceeded(
-                f"{what} exceeded its {self.limit_seconds:.1f}s wall-clock budget"
-            )

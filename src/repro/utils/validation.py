@@ -13,6 +13,7 @@ __all__ = [
     "check_nonnegative_integer",
     "check_positive_integer",
     "check_probability",
+    "resolve_node_index",
 ]
 
 
@@ -39,6 +40,65 @@ def check_positive_integer(value: object, name: str) -> int:
     if result < 1:
         raise ValueError(f"{name} must be >= 1, got {result}")
     return result
+
+
+def resolve_node_index(
+    index: object,
+    size: int,
+    name: str,
+    *,
+    full_if_none: bool = False,
+    allow_empty: bool = False,
+    allow_duplicates: bool = False,
+    bounds_error: type[Exception] = IndexError,
+) -> np.ndarray:
+    """Validate a node-index selection and return it as an int64 array.
+
+    The one bounds/duplicate check shared by the query resolvers
+    (``GSimPlus``, top-k retrieval), ``Graph.subgraph``, and the factored
+    ``query_block`` path.
+
+    Parameters
+    ----------
+    index:
+        The candidate selection (sequence of ints, ndarray, or ``None``).
+    size:
+        Number of nodes the ids must index into (valid range ``0..size-1``).
+    name:
+        Parameter name used in error messages.
+    full_if_none:
+        When true, ``None`` resolves to ``arange(size)`` ("all nodes").
+    allow_empty:
+        Whether an empty selection is acceptable.
+    allow_duplicates:
+        Whether repeated ids are acceptable (e.g. repeated query rows).
+    bounds_error:
+        Exception type for out-of-range ids — ``IndexError`` by default;
+        ``Graph.subgraph`` historically raises ``ValueError``.
+
+    Examples
+    --------
+    >>> resolve_node_index([2, 0], 3, "queries")
+    array([2, 0])
+    >>> resolve_node_index(None, 3, "queries", full_if_none=True)
+    array([0, 1, 2])
+    """
+    if index is None:
+        if full_if_none:
+            return np.arange(size, dtype=np.int64)
+        raise ValueError(f"{name} must not be None")
+    resolved = np.asarray(index, dtype=np.int64)
+    if resolved.ndim != 1:
+        raise ValueError(f"{name} must be a non-empty 1-D index array")
+    if resolved.size == 0:
+        if not allow_empty:
+            raise ValueError(f"{name} must be a non-empty 1-D index array")
+        return resolved
+    if resolved.min() < 0 or resolved.max() >= size:
+        raise bounds_error(f"{name} out of range (valid node ids: 0..{size - 1})")
+    if not allow_duplicates and np.unique(resolved).size != resolved.size:
+        raise ValueError(f"{name} contains duplicates")
+    return resolved
 
 
 def check_probability(value: object, name: str) -> float:

@@ -31,6 +31,9 @@ MODULE_NAMES = [
     "repro.models.cosimrank",
     "repro.models.hits",
     "repro.models.simrank",
+    "repro.runtime.budget",
+    "repro.runtime.context",
+    "repro.runtime.metrics",
     "repro.utils.deadline",
     "repro.utils.memory",
     "repro.utils.timing",

@@ -1,6 +1,5 @@
 """Integration tests for the figure/table drivers (tiny scale, reduced sets)."""
 
-import numpy as np
 import pytest
 
 from repro.experiments import Deadline, ExperimentConfig, MemoryBudget, Outcome

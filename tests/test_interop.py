@@ -2,7 +2,6 @@
 
 import networkx as nx
 import numpy as np
-import pytest
 
 from repro.graphs import Graph
 from repro.graphs.interop import from_networkx, to_networkx

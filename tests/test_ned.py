@@ -1,6 +1,5 @@
 """Unit tests for the NED baseline (k-adjacent tree edit distance)."""
 
-import numpy as np
 import pytest
 
 from repro import Graph

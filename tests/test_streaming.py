@@ -2,7 +2,6 @@
 
 import io
 
-import numpy as np
 import pytest
 
 from repro.graphs import read_edge_list, read_edge_list_streaming, write_edge_list
