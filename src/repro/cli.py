@@ -95,6 +95,32 @@ def _build_parser() -> argparse.ArgumentParser:
             help="per-cell memory budget in MiB (default: 256)",
         )
 
+    def _add_resilience(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--retries",
+            type=int,
+            default=0,
+            metavar="N",
+            help="retry transient failures up to N extra times with "
+            "backoff; cells that keep failing are quarantined as "
+            "structured ERROR records (default: 0 — fail fast)",
+        )
+        sub.add_argument(
+            "--checkpoint-dir",
+            default=None,
+            metavar="DIR",
+            help="persist progress under DIR (a run journal for sweeps, "
+            "iteration snapshots for factor builds) so an interrupted "
+            "run can be resumed with --resume",
+        )
+        sub.add_argument(
+            "--resume",
+            action="store_true",
+            help="resume from the state in --checkpoint-dir: completed "
+            "sweep cells are replayed, interrupted factor builds restart "
+            "from their last valid snapshot",
+        )
+
     def _add_metrics(sub: argparse.ArgumentParser) -> None:
         sub.add_argument(
             "--metrics",
@@ -107,6 +133,7 @@ def _build_parser() -> argparse.ArgumentParser:
         sub = subparsers.add_parser(name, help=f"Figure {name[3:]}: {description}")
         _add_common(sub)
         _add_metrics(sub)
+        _add_resilience(sub)
         if name in ("fig3", "fig4", "fig5", "fig7", "fig8"):
             sub.add_argument("--dataset", default="EE", help="dataset key")
 
@@ -127,6 +154,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_common(everything)
     _add_metrics(everything)
+    _add_resilience(everything)
 
     topk = subparsers.add_parser(
         "topk", help="retrieve the k most similar cross-graph pairs"
@@ -173,6 +201,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--output", default=None, help="write the block as CSV to this path"
     )
     _add_metrics(sim)
+    _add_resilience(sim)
 
     spec = subparsers.add_parser(
         "spec", help="run a declarative experiment from a JSON spec file"
@@ -186,14 +215,48 @@ def _build_parser() -> argparse.ArgumentParser:
     spec.add_argument(
         "--export-csv", default=None, help="also write the records to this CSV"
     )
+    _add_resilience(spec)
     return parser
 
 
-def _run_figure(name: str, args: argparse.Namespace) -> tuple[str, list]:
+def _resilience(args: argparse.Namespace, journal_name: str):
+    """``(journal, retry_policy)`` from the --retries/--checkpoint-dir/
+    --resume flags; each is ``None`` when the feature is off."""
+    from repro.runtime.resilience import RetryPolicy
+
+    if args.resume and not args.checkpoint_dir:
+        print("error: --resume requires --checkpoint-dir", file=sys.stderr)
+        raise SystemExit(2)
+    journal = None
+    if args.checkpoint_dir:
+        from pathlib import Path
+
+        from repro.experiments.journal import RunJournal
+
+        journal = RunJournal(
+            Path(args.checkpoint_dir) / f"{journal_name}-journal.jsonl",
+            resume=args.resume,
+        )
+    retry_policy = (
+        RetryPolicy(max_attempts=args.retries + 1) if args.retries > 0 else None
+    )
+    return journal, retry_policy
+
+
+def _run_figure(
+    name: str,
+    args: argparse.Namespace,
+    journal=None,
+    retry_policy=None,
+) -> tuple[str, list]:
+    if journal is None and retry_policy is None:
+        journal, retry_policy = _resilience(args, name)
     driver, column, metric, description = _FIGURES[name]
     guards = dict(
         memory_budget=MemoryBudget(int(args.memory_budget_mib * 1024 * 1024)),
         deadline=Deadline(limit_seconds=args.deadline),
+        journal=journal,
+        retry_policy=retry_policy,
     )
     if args.iterations is None:
         config = ExperimentConfig.for_scale(args.scale, seed=args.seed, **guards)
@@ -208,9 +271,16 @@ def _run_figure(name: str, args: argparse.Namespace) -> tuple[str, list]:
         kwargs["algorithms"] = tuple(
             token.strip() for token in args.algorithms.split(",") if token.strip()
         )
+    hits_before = journal.hits if journal is not None else 0
     records = driver(config, **kwargs)
     title = f"Figure {name[3:]} — {description} (scale={args.scale})"
     rendered = render_records(records, column_key=column, metric=metric, title=title)
+    if journal is not None:
+        replayed = journal.hits - hits_before
+        rendered += (
+            f"\n[{replayed}/{len(records)} cells replayed from "
+            f"{journal.path}]"
+        )
     return rendered, records
 
 
@@ -263,9 +333,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(render_error_bound_table(table))
         return 0
     if args.command == "all":
+        journal, retry_policy = _resilience(args, "all")
         all_records: list = []
         for name in _FIGURES:
-            rendered, records = _run_figure(name, args)
+            rendered, records = _run_figure(
+                name, args, journal=journal, retry_policy=retry_policy
+            )
             print(rendered)
             print()
             all_records.extend(records)
@@ -306,16 +379,40 @@ def main(argv: Sequence[str] | None = None) -> int:
         from repro.graphs import read_edge_list
         from repro.runtime import ExecutionContext
 
+        from repro.runtime.resilience import CheckpointManager, RetryPolicy
+
+        checkpoints = None
+        if args.checkpoint_dir:
+            from pathlib import Path
+
+            checkpoints = CheckpointManager(
+                Path(args.checkpoint_dir), prefix="sim"
+            )
+        elif args.resume:
+            print("error: --resume requires --checkpoint-dir", file=sys.stderr)
+            return 2
+        retry_policy = (
+            RetryPolicy(max_attempts=args.retries + 1)
+            if args.retries > 0
+            else None
+        )
+
         graph_a = read_edge_list(args.graph_a, relabel=args.relabel)
         graph_b = read_edge_list(args.graph_b, relabel=args.relabel)
         print(f"G_A = {graph_a}")
         print(f"G_B = {graph_b}")
         context = ExecutionContext()
         if args.top is not None:
-            pairs = top_k_pairs(
-                graph_a, graph_b, args.top, iterations=args.iterations,
-                context=context,
-            )
+            def _top_pairs():
+                return top_k_pairs(
+                    graph_a, graph_b, args.top, iterations=args.iterations,
+                    context=context,
+                )
+
+            if retry_policy is not None:
+                pairs = retry_policy.call(_top_pairs, what="sim topk")
+            else:
+                pairs = _top_pairs()
             for pair in pairs:
                 print(f"  {pair.node_a}\t{pair.node_b}\t{pair.score:.6f}")
             if args.metrics:
@@ -327,15 +424,34 @@ def main(argv: Sequence[str] | None = None) -> int:
                 return None
             return [int(token) for token in raw.split(",") if token.strip()]
 
-        result = gsim_plus(
-            graph_a,
-            graph_b,
-            iterations=args.iterations,
-            queries_a=_parse_queries(args.queries_a),
-            queries_b=_parse_queries(args.queries_b),
-            normalization="global",
-            context=context,
-        )
+        def _compute(resume_from):
+            return gsim_plus(
+                graph_a,
+                graph_b,
+                iterations=args.iterations,
+                queries_a=_parse_queries(args.queries_a),
+                queries_b=_parse_queries(args.queries_b),
+                normalization="global",
+                context=context,
+                checkpoints=checkpoints,
+                resume_from=resume_from,
+            )
+
+        resume_from = {"manager": checkpoints if args.resume else None}
+        if retry_policy is not None:
+            def _on_retry(attempt: int, exc: BaseException) -> None:
+                # A failed attempt may still have snapshotted progress;
+                # pick up from the last valid checkpoint rather than
+                # iteration zero.
+                resume_from["manager"] = checkpoints
+
+            result = retry_policy.call(
+                lambda: _compute(resume_from["manager"]),
+                what="sim",
+                on_retry=_on_retry,
+            )
+        else:
+            result = _compute(resume_from["manager"])
         if args.output:
             np.savetxt(args.output, result.similarity, delimiter=",", fmt="%.8g")
             print(f"{result.similarity.shape} block written to {args.output}")
@@ -349,8 +465,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         from repro.experiments.export import write_csv
         from repro.experiments.spec import ExperimentSpec, run_spec
 
+        journal, retry_policy = _resilience(args, "spec")
         spec = ExperimentSpec.from_json(args.spec_path)
-        records = run_spec(spec)
+        records = run_spec(spec, journal=journal, retry_policy=retry_policy)
+        if journal is not None:
+            print(
+                f"[{journal.hits}/{len(records)} cells replayed from "
+                f"{journal.path}]"
+            )
         column = "dataset" if spec.sweep_axis is None else {
             "iterations": "k",
             "query_size": "q_a",

@@ -35,11 +35,27 @@ returns and is the default, matching the paper's Example 3.2 (whose
 ``||U_K V_K^T||_F``, computed in factored form via the Gram trick, which
 makes partial queries consistent with entries of the full matrix.  The two
 coincide when the query sets cover all nodes.
+
+Resilience
+----------
+A K-iteration build on a billion-scale pair runs for long enough to be
+interrupted — so the iteration checkpoints.  Pass ``checkpoints=`` (a
+:class:`repro.runtime.CheckpointManager` or a directory) and every
+``checkpoint_every``-th iterate is snapshotted atomically with a content
+checksum; pass ``resume_from=`` and the solver restores the latest *valid*
+snapshot and continues from iteration ``k`` with bit-identical results —
+the iteration is a deterministic function of its state, and the state
+round-trips exactly through ``.npz``.  A numeric-health guard (on by
+default) additionally repairs non-finite factor updates — NaNs zeroed,
+overflows clamped to the largest finite magnitude present — recording the
+repair in ``gsim_plus.nonfinite_repairs`` instead of propagating NaN into
+every downstream score.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Callable, Iterator
 
 import numpy as np
@@ -48,6 +64,7 @@ import scipy.sparse as sp
 from repro.core.embeddings import LowRankFactors
 from repro.graphs.graph import Graph
 from repro.runtime import ExecutionContext
+from repro.runtime.resilience import Checkpoint, CheckpointManager
 from repro.utils.memory import dense_matrix_bytes
 from repro.utils.validation import check_nonnegative_integer, resolve_node_index
 
@@ -55,6 +72,15 @@ __all__ = ["GSimPlus", "GSimPlusResult", "gsim_plus"]
 
 _RANK_CAP_MODES = ("dense", "qr-compress", "none")
 _NORMALIZATIONS = ("block", "global")
+
+
+def _as_manager(
+    checkpoints: CheckpointManager | str | Path | None,
+) -> CheckpointManager | None:
+    """Accept a manager or a bare directory path everywhere."""
+    if checkpoints is None or isinstance(checkpoints, CheckpointManager):
+        return checkpoints
+    return CheckpointManager(checkpoints)
 
 
 @dataclass
@@ -123,6 +149,12 @@ class GSimPlus:
         One of ``"dense"`` (paper default), ``"qr-compress"``, ``"none"``.
     normalization:
         ``"block"`` (Algorithm 1, default) or ``"global"``.
+    numeric_guard:
+        When True (default), non-finite entries appearing in an iteration
+        update are repaired — NaNs zeroed, infinities clamped to the
+        largest finite magnitude in the same factor — and the event is
+        counted in ``gsim_plus.nonfinite_repairs`` instead of the NaN
+        poisoning every subsequent iterate.
 
     Examples
     --------
@@ -142,6 +174,7 @@ class GSimPlus:
         rank_cap: str = "dense",
         normalization: str = "block",
         initial_factors: tuple[np.ndarray, np.ndarray] | None = None,
+        numeric_guard: bool = True,
     ) -> None:
         if rank_cap not in _RANK_CAP_MODES:
             raise ValueError(
@@ -161,6 +194,7 @@ class GSimPlus:
         self.n_b = graph_b.num_nodes
         self.rank_cap = rank_cap
         self.normalization = normalization
+        self.numeric_guard = numeric_guard
         self._initial = self._resolve_initial(initial_factors)
 
     def _resolve_initial(
@@ -203,13 +237,44 @@ class GSimPlus:
     # ------------------------------------------------------------------
     # Iteration core
     # ------------------------------------------------------------------
-    def _step_factors(self, factors: LowRankFactors) -> LowRankFactors:
+    def _healed(
+        self, array: np.ndarray, context: ExecutionContext | None
+    ) -> np.ndarray:
+        """Repair non-finite entries in an iteration update (in place).
+
+        NaNs become 0; ±inf is clamped to the largest finite magnitude
+        present (preserving the update's scale, unlike ``nan_to_num``'s
+        float-max default, which would flush everything else to zero at
+        the next rescale).  Each repair is counted in
+        ``gsim_plus.nonfinite_repairs``.
+        """
+        finite = np.isfinite(array)
+        if finite.all():
+            return array
+        repaired = int(array.size - np.count_nonzero(finite))
+        finite_abs = np.abs(array[finite])
+        cap = float(finite_abs.max()) if finite_abs.size else 1.0
+        if cap == 0.0:
+            cap = 1.0
+        np.nan_to_num(array, copy=False, nan=0.0, posinf=cap, neginf=-cap)
+        if context is not None:
+            context.metrics.increment("gsim_plus.nonfinite_repairs", repaired)
+        return array
+
+    def _step_factors(
+        self, factors: LowRankFactors, context: ExecutionContext | None = None
+    ) -> LowRankFactors:
         """One Eq.(8)/(9) doubling step in factored form (lines 3-5)."""
         new_u = np.hstack([self._a @ factors.u, self._a_t @ factors.u])
         new_v = np.hstack([self._b @ factors.v, self._b_t @ factors.v])
+        if self.numeric_guard:
+            new_u = self._healed(new_u, context)
+            new_v = self._healed(new_v, context)
         return LowRankFactors(new_u, new_v, factors.log_scale).rescaled()
 
-    def _step_dense(self, z: np.ndarray) -> tuple[np.ndarray, float]:
+    def _step_dense(
+        self, z: np.ndarray, context: ExecutionContext | None = None
+    ) -> tuple[np.ndarray, float]:
         """One Eq.(6a) step on a dense Z, renormalised to unit Frobenius.
 
         Per-iteration scalar renormalisation is equivalent to normalising
@@ -221,15 +286,34 @@ class GSimPlus:
         # A Z B^T + A^T Z B, staying in sparse-times-dense kernels:
         # Z B^T = (B Z^T)^T and Z B = (B^T Z^T)^T.
         updated = self._a @ (self._b @ z.T).T + self._a_t @ (self._b_t @ z.T).T
-        norm = float(np.linalg.norm(updated))
+        if self.numeric_guard:
+            updated = self._healed(updated, context)
+        with np.errstate(over="ignore"):
+            norm = float(np.linalg.norm(updated))
+        log_shift = 0.0
+        if self.numeric_guard and not np.isfinite(norm):
+            # Entries are finite but their sum of squares overflows; shift
+            # the scale down before taking the norm (exact up to rounding,
+            # like the factored path's per-step rescale).
+            amax = float(np.abs(updated).max())
+            updated = updated / amax
+            log_shift = float(np.log(amax))
+            norm = float(np.linalg.norm(updated))
+            if context is not None:
+                context.metrics.increment("gsim_plus.norm_rescales")
         if norm == 0.0:
             raise ZeroDivisionError(
                 "similarity iterate collapsed to zero (disconnected inputs?)"
             )
-        return updated / norm, float(np.log(norm))
+        return updated / norm, float(np.log(norm)) + log_shift
 
     def iterate(
-        self, iterations: int, context: ExecutionContext | None = None
+        self,
+        iterations: int,
+        context: ExecutionContext | None = None,
+        checkpoints: CheckpointManager | str | Path | None = None,
+        checkpoint_every: int = 1,
+        resume_from: CheckpointManager | str | Path | None = None,
     ) -> Iterator[_IterationState]:
         """Yield state after every iteration ``k = 0 .. iterations``.
 
@@ -244,14 +328,55 @@ class GSimPlus:
         the live memory budget *before* it is allocated, and the per-step
         width / spmm counts land in ``context.metrics`` under
         ``gsim_plus.*``.  Without a context, behaviour is unchanged.
+
+        With ``checkpoints`` (a :class:`repro.runtime.CheckpointManager`
+        or a directory path), every ``checkpoint_every``-th iterate — and
+        always the final one — is snapshotted atomically.  With
+        ``resume_from``, the latest valid snapshot whose fingerprint
+        matches this solver is restored and iteration continues from its
+        ``k``; because one iteration is a deterministic function of the
+        exactly round-tripped state, the resumed run is bit-identical to
+        an uninterrupted one.  When no valid snapshot exists the run
+        simply starts from scratch.
         """
         iterations = check_nonnegative_integer(iterations, "iterations")
+        checkpoint_every = check_nonnegative_integer(
+            checkpoint_every, "checkpoint_every"
+        )
+        if checkpoints is not None and checkpoint_every == 0:
+            raise ValueError("checkpoint_every must be >= 1 when checkpointing")
+        manager = _as_manager(checkpoints)
         width_cap = min(self.n_a, self.n_b)
         factors: LowRankFactors | None = LowRankFactors(
             self._initial.u.copy(), self._initial.v.copy(), self._initial.log_scale
         )
         dense_z: np.ndarray | None = None
         dense_log = 0.0
+        start_k = 0
+        snapshot = None
+        if resume_from is not None:
+            snapshot = _as_manager(resume_from).load_latest_valid()
+        if snapshot is not None:
+            self._check_fingerprint(snapshot)
+            start_k = snapshot.step
+            if start_k > iterations:
+                raise ValueError(
+                    f"checkpoint is at iteration {start_k}, beyond the "
+                    f"requested {iterations}"
+                )
+            if snapshot.meta["kind"] == "dense":
+                factors = None
+                dense_z = snapshot.arrays["dense_z"]
+                dense_log = float(snapshot.meta["dense_log"])
+            else:
+                factors = LowRankFactors(
+                    snapshot.arrays["u"],
+                    snapshot.arrays["v"],
+                    float(snapshot.meta["log_scale"]),
+                )
+            if context is not None:
+                context.metrics.increment("gsim_plus.resumed")
+                context.metrics.set_gauge("gsim_plus.resume_iteration", start_k)
         charged = 0
 
         def _account(num_bytes: int, what: str) -> None:
@@ -264,17 +389,36 @@ class GSimPlus:
             context.charge(num_bytes, what)
             charged = num_bytes
 
+        def _snapshot_state(k: int) -> None:
+            assert manager is not None
+            meta = {**self._fingerprint(), "kind": "dense" if dense_z is not None else "factors"}
+            if dense_z is not None:
+                meta["dense_log"] = dense_log
+                manager.save(k, {"dense_z": dense_z}, meta=meta)
+            else:
+                assert factors is not None
+                meta["log_scale"] = factors.log_scale
+                manager.save(k, {"u": factors.u, "v": factors.v}, meta=meta)
+            if context is not None:
+                context.metrics.increment("gsim_plus.checkpoints_written")
+
         try:
             if context is not None:
-                _account(factors.memory_bytes(), "GSim+ initial factors")
-                context.metrics.observe("gsim_plus.width", factors.width)
+                if factors is not None:
+                    _account(factors.memory_bytes(), "GSim+ initial factors")
+                    context.metrics.observe("gsim_plus.width", factors.width)
+                else:
+                    _account(
+                        2 * dense_matrix_bytes(self.n_a, self.n_b),
+                        "GSim+ dense rank-cap fallback (resumed)",
+                    )
                 context.metrics.observe("gsim_plus.bytes_held", charged)
-            yield _IterationState(0, factors, dense_z)
-            for k in range(1, iterations + 1):
+            yield _IterationState(start_k, factors, dense_z, dense_log)
+            for k in range(start_k + 1, iterations + 1):
                 if context is not None:
                     context.checkpoint(f"GSim+ iteration {k}")
                 if dense_z is not None:
-                    dense_z, log_norm = self._step_dense(dense_z)
+                    dense_z, log_norm = self._step_dense(dense_z, context)
                     dense_log += log_norm
                 else:
                     assert factors is not None
@@ -298,10 +442,10 @@ class GSimPlus:
                         # log ||Z||_F of the exact iterate at hand-over.
                         dense_log = float(np.log(norm)) + factors.log_scale
                         factors = None
-                        dense_z, log_norm = self._step_dense(dense_z)
+                        dense_z, log_norm = self._step_dense(dense_z, context)
                         dense_log += log_norm
                     else:
-                        factors = self._step_factors(factors)
+                        factors = self._step_factors(factors, context)
                         if (
                             self.rank_cap == "qr-compress"
                             and factors.width > width_cap
@@ -322,11 +466,42 @@ class GSimPlus:
                     if dense_z is not None:
                         context.metrics.increment("gsim_plus.dense_steps")
                         context.metrics.set_gauge("gsim_plus.z_log_norm", dense_log)
+                if manager is not None and (
+                    k % checkpoint_every == 0 or k == iterations
+                ):
+                    _snapshot_state(k)
                 yield _IterationState(k, factors, dense_z, dense_log)
         finally:
             if context is not None and charged:
                 context.release(charged)
                 charged = 0
+
+    def _fingerprint(self) -> dict[str, object]:
+        """What a checkpoint must agree on to be resumable by this solver."""
+        return {
+            "algorithm": "gsim_plus",
+            "n_a": self.n_a,
+            "n_b": self.n_b,
+            "rank_cap": self.rank_cap,
+            "initial_width": self._initial.width,
+        }
+
+    def _check_fingerprint(self, snapshot: Checkpoint) -> None:
+        expected = self._fingerprint()
+        mismatched = {
+            key: (snapshot.meta.get(key), value)
+            for key, value in expected.items()
+            if snapshot.meta.get(key) != value
+        }
+        if mismatched:
+            details = ", ".join(
+                f"{key}: checkpoint has {found!r}, solver needs {needed!r}"
+                for key, (found, needed) in sorted(mismatched.items())
+            )
+            raise ValueError(
+                f"checkpoint does not match this solver ({details}); "
+                "point resume_from at the right directory or rebuild"
+            )
 
     # ------------------------------------------------------------------
     # Public entry points
@@ -338,6 +513,9 @@ class GSimPlus:
         queries_b: np.ndarray | list[int] | None = None,
         progress: "Callable[[int, int], None] | None" = None,
         context: ExecutionContext | None = None,
+        checkpoints: CheckpointManager | str | Path | None = None,
+        checkpoint_every: int = 1,
+        resume_from: CheckpointManager | str | Path | None = None,
     ) -> GSimPlusResult:
         """Execute Algorithm 1 and return the query-block similarity.
 
@@ -360,11 +538,20 @@ class GSimPlus:
             breach raises a structured
             :class:`repro.runtime.BudgetExceeded` carrying the metrics
             collected so far.
+        checkpoints, checkpoint_every, resume_from:
+            Periodic atomic factor checkpointing and crash recovery; see
+            :meth:`iterate`.
         """
         queries_a = self._resolve_queries(queries_a, self.n_a, "queries_a")
         queries_b = self._resolve_queries(queries_b, self.n_b, "queries_b")
         final: _IterationState | None = None
-        for final in self.iterate(iterations, context=context):
+        for final in self.iterate(
+            iterations,
+            context=context,
+            checkpoints=checkpoints,
+            checkpoint_every=checkpoint_every,
+            resume_from=resume_from,
+        ):
             if progress is not None and final.k > 0:
                 width = (
                     final.factors.width
@@ -446,6 +633,9 @@ def gsim_plus(
     normalization: str = "block",
     initial_factors: tuple[np.ndarray, np.ndarray] | None = None,
     context: ExecutionContext | None = None,
+    checkpoints: CheckpointManager | str | Path | None = None,
+    checkpoint_every: int = 1,
+    resume_from: CheckpointManager | str | Path | None = None,
 ) -> GSimPlusResult:
     """Functional wrapper over :class:`GSimPlus` (Algorithm 1).
 
@@ -472,5 +662,11 @@ def gsim_plus(
         initial_factors=initial_factors,
     )
     return solver.run(
-        iterations, queries_a=queries_a, queries_b=queries_b, context=context
+        iterations,
+        queries_a=queries_a,
+        queries_b=queries_b,
+        context=context,
+        checkpoints=checkpoints,
+        checkpoint_every=checkpoint_every,
+        resume_from=resume_from,
     )

@@ -5,8 +5,16 @@ the resulting factors costs milliseconds.  Persisting the factors turns
 GSim+ into an *index*: compute ``U_K / V_K`` once, then serve arbitrary
 ``(Q_A, Q_B)`` retrievals from disk-backed state.
 
-Format: a single ``.npz`` holding ``u``, ``v``, ``log_scale``, and a
-format-version tag (rejected on mismatch so stale indexes fail loudly).
+Format: a single ``.npz`` holding ``u``, ``v``, ``log_scale``, a
+format-version tag (rejected on mismatch so stale indexes fail loudly),
+and — since format version 2 — a SHA-256 content checksum.  Writes are
+atomic (sibling temp file + ``os.replace``), so a crash mid-save never
+clobbers a good artifact; loads verify the checksum and raise
+:class:`repro.runtime.errors.CorruptArtifactError` on truncated,
+bit-flipped, or otherwise garbled files instead of returning silently
+wrong factors.  The recovery path for a corrupt artifact is always the
+same: rebuild it from the source graphs with
+:func:`repro.core.gsim_plus.gsim_plus` / ``GSimIndex.build``.
 """
 
 from __future__ import annotations
@@ -16,45 +24,76 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.embeddings import LowRankFactors
+from repro.runtime.errors import CorruptArtifactError
+from repro.runtime.resilience import atomic_write, content_checksum
 
 __all__ = ["load_factors", "save_factors"]
 
-_FORMAT_VERSION = 1
+# v2 added the content checksum; v1 files still load (unverified).
+_FORMAT_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
 
 
 def save_factors(factors: LowRankFactors, path: str | Path) -> None:
-    """Write ``factors`` to ``path`` as a compressed ``.npz``."""
+    """Atomically write ``factors`` to ``path`` as a compressed ``.npz``."""
     path = Path(path)
-    np.savez_compressed(
-        path,
-        u=factors.u,
-        v=factors.v,
-        log_scale=np.float64(factors.log_scale),
-        format_version=np.int64(_FORMAT_VERSION),
-    )
+    content = {
+        "u": factors.u,
+        "v": factors.v,
+        "log_scale": np.float64(factors.log_scale),
+        "format_version": np.int64(_FORMAT_VERSION),
+    }
+    digest = content_checksum(content)
+    with atomic_write(path) as tmp:
+        with open(tmp, "wb") as handle:
+            np.savez_compressed(handle, **content, checksum=np.str_(digest))
 
 
 def load_factors(path: str | Path) -> LowRankFactors:
-    """Read factors previously written by :func:`save_factors`.
+    """Read and verify factors previously written by :func:`save_factors`.
 
     Raises
     ------
     ValueError
-        If the file lacks the expected arrays or carries a different
+        If the file lacks the expected arrays or carries an unsupported
         format version.
+    CorruptArtifactError
+        If the file is unreadable (truncated, not a zip) or its content
+        checksum does not match — rebuild the factors from the source
+        graphs in that case.
     """
     path = Path(path)
-    with np.load(path) as archive:
-        missing = {"u", "v", "log_scale", "format_version"} - set(archive.files)
-        if missing:
-            raise ValueError(f"{path} is not a factors file (missing {sorted(missing)})")
-        version = int(archive["format_version"])
-        if version != _FORMAT_VERSION:
-            raise ValueError(
-                f"{path} has format version {version}, expected {_FORMAT_VERSION}"
-            )
-        return LowRankFactors(
-            archive["u"].copy(),
-            archive["v"].copy(),
-            float(archive["log_scale"]),
+    wanted = {"u", "v", "log_scale", "format_version", "checksum"}
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            raw = {
+                name: archive[name].copy()
+                for name in archive.files
+                if name in wanted
+            }
+    except FileNotFoundError:
+        raise
+    except Exception as exc:  # truncated zip, bad CRC, bad header...
+        raise CorruptArtifactError(
+            f"cannot read factors file {path} ({exc}); the artifact is "
+            "corrupt — rebuild it from the source graphs with gsim_plus",
+            path=str(path),
+        ) from exc
+    missing = {"u", "v", "log_scale", "format_version"} - set(raw)
+    if missing:
+        raise ValueError(f"{path} is not a factors file (missing {sorted(missing)})")
+    version = int(raw["format_version"])
+    if version not in _SUPPORTED_VERSIONS:
+        raise ValueError(
+            f"{path} has format version {version}, expected one of "
+            f"{_SUPPORTED_VERSIONS}"
         )
+    stored = str(raw["checksum"]) if "checksum" in raw else None
+    content = {name: raw[name] for name in raw if name != "checksum"}
+    if stored is not None and content_checksum(content) != stored:
+        raise CorruptArtifactError(
+            f"checksum mismatch in factors file {path}; the artifact is "
+            "corrupt — rebuild it from the source graphs with gsim_plus",
+            path=str(path),
+        )
+    return LowRankFactors(raw["u"], raw["v"], float(raw["log_scale"]))

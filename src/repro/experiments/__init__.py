@@ -9,6 +9,8 @@
 * :mod:`repro.experiments.tables` — the §5.2.3 accuracy table.
 * :mod:`repro.experiments.ablations` — design-choice ablations from
   DESIGN.md §5.
+* :mod:`repro.experiments.journal` — the persistent run journal making
+  long sweeps resumable cell by cell.
 * :mod:`repro.experiments.report` — plain-text rendering of result tables.
 """
 
@@ -18,6 +20,7 @@ from repro.experiments.guards import (
     MemoryBudget,
     MemoryBudgetExceeded,
 )
+from repro.experiments.journal import RunJournal
 from repro.experiments.report import render_records, render_table
 from repro.experiments.runner import (
     ALGORITHMS,
@@ -25,6 +28,7 @@ from repro.experiments.runner import (
     ExperimentConfig,
     Outcome,
     RunRecord,
+    cell_key,
     run_algorithm,
 )
 
@@ -37,7 +41,9 @@ __all__ = [
     "MemoryBudget",
     "MemoryBudgetExceeded",
     "Outcome",
+    "RunJournal",
     "RunRecord",
+    "cell_key",
     "render_records",
     "render_table",
     "run_algorithm",

@@ -100,6 +100,8 @@ def fig2_time_by_dataset(
                     memory_budget=config.memory_budget,
                     deadline=config.deadline,
                     dataset=dataset,
+                    retry_policy=config.retry_policy,
+                    journal=config.journal,
                 )
             )
     return records
@@ -131,6 +133,8 @@ def fig3_time_vs_k(
                 memory_budget=config.memory_budget,
                 deadline=config.deadline,
                 dataset=dataset,
+                retry_policy=config.retry_policy,
+                journal=config.journal,
             )
             records.append(record)
     return records
@@ -170,6 +174,8 @@ def fig4_time_vs_nb(
                 memory_budget=config.memory_budget,
                 deadline=config.deadline,
                 dataset=dataset,
+                retry_policy=config.retry_policy,
+                journal=config.journal,
             )
             records.append(record)
     return records
@@ -202,6 +208,8 @@ def fig5_time_vs_queries(
                 memory_budget=config.memory_budget,
                 deadline=config.deadline,
                 dataset=dataset,
+                retry_policy=config.retry_policy,
+                journal=config.journal,
             )
             records.append(record)
     return records

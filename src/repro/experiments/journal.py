@@ -1,0 +1,147 @@
+"""Persistent run journals: resumable sweeps, cell by cell.
+
+A figure sweep is dozens of independent cells, each potentially minutes
+long; losing a night's sweep to a crash in cell 37 is the experiment-
+harness version of losing a factor build at iteration 9.  A
+:class:`RunJournal` is an append-only JSONL file that records every
+completed :class:`repro.experiments.runner.RunRecord` the moment it
+finishes — flushed and fsynced per line, so partial results survive any
+crash — and lets a re-run replay completed cells instead of re-executing
+them.
+
+Integrity matches the artifact layer: every line embeds a SHA-256
+checksum of its own content.  On load, lines that fail the checksum or
+do not parse (the classic torn final line of a killed process) are
+counted and skipped with a warning — one bad line costs one cell, never
+the journal.
+
+Wire-up: hand a journal to :func:`repro.experiments.runner.run_algorithm`
+(directly or via :attr:`ExperimentConfig.journal`) and cells whose key is
+already journalled come back replayed; everything else runs and is
+appended.  The CLI exposes this as ``--checkpoint-dir`` + ``--resume``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import warnings
+from pathlib import Path
+
+from repro.experiments.runner import RunRecord, cell_key
+
+__all__ = ["RunJournal", "cell_key"]
+
+
+def _line_checksum(entry: dict) -> str:
+    blob = json.dumps(entry, sort_keys=True).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
+class RunJournal:
+    """Append-only, checksummed JSONL journal of completed sweep cells.
+
+    Parameters
+    ----------
+    path:
+        The journal file.  Parent directories are created.
+    resume:
+        When True, existing entries are loaded and their cells will be
+        replayed; when False (a fresh run), any existing journal is
+        truncated.
+
+    Attributes
+    ----------
+    hits:
+        How many lookups were answered from the journal this run — the
+        number of cells a resumed sweep did *not* re-execute.
+    skipped_lines:
+        Corrupt/torn lines dropped while loading.
+
+    Examples
+    --------
+    >>> import tempfile
+    >>> journal = RunJournal(Path(tempfile.mkdtemp()) / "journal.jsonl")
+    >>> len(journal)
+    0
+    """
+
+    def __init__(self, path: str | Path, resume: bool = False) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._records: dict[str, RunRecord] = {}
+        self.hits = 0
+        self.skipped_lines = 0
+        if self.path.exists():
+            if resume:
+                self._load()
+            else:
+                self.path.unlink()
+
+    def _load(self) -> None:
+        for lineno, raw in enumerate(
+            self.path.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            if not raw.strip():
+                continue
+            try:
+                entry = json.loads(raw)
+                stored = entry.pop("checksum")
+                if _line_checksum(entry) != stored:
+                    raise ValueError("checksum mismatch")
+                record = RunRecord.from_dict(entry["record"])
+                key = entry["key"]
+            except (ValueError, KeyError, TypeError) as exc:
+                self.skipped_lines += 1
+                warnings.warn(
+                    f"{self.path}:{lineno}: dropping corrupt journal line "
+                    f"({exc})",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                continue
+            self._records[key] = record
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._records
+
+    @property
+    def keys(self) -> list[str]:
+        """Journalled cell keys, in insertion order."""
+        return list(self._records)
+
+    def get(self, key: str) -> RunRecord | None:
+        """The journalled record for ``key``, counting a replay hit."""
+        record = self._records.get(key)
+        if record is not None:
+            self.hits += 1
+        return record
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record(self, key: str, record: RunRecord) -> None:
+        """Append one completed cell; flushed + fsynced immediately."""
+        entry = {"key": key, "record": record.to_dict()}
+        entry["checksum"] = _line_checksum(
+            {"key": entry["key"], "record": entry["record"]}
+        )
+        line = json.dumps(entry, sort_keys=True)
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._records[key] = record
+
+    def __repr__(self) -> str:
+        return (
+            f"RunJournal({str(self.path)!r}, cells={len(self)}, "
+            f"hits={self.hits})"
+        )

@@ -20,8 +20,9 @@ on the resulting :class:`RunRecord`.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Callable
+import time
+from dataclasses import asdict, dataclass, field
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
@@ -40,8 +41,12 @@ from repro.experiments.guards import (
 )
 from repro.graphs.graph import Graph
 from repro.runtime import BudgetExceeded, ExecutionContext
+from repro.runtime.resilience import RetryPolicy
 from repro.utils.memory import MemoryTracker
 from repro.utils.timing import Stopwatch
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.experiments.journal import RunJournal
 
 __all__ = [
     "ALGORITHMS",
@@ -114,22 +119,45 @@ class RunRecord:
     params: dict[str, object] = field(default_factory=dict)
     note: str = ""
     metrics: dict | None = None
+    attempts: int = 1
 
     @property
     def ok(self) -> bool:
         """True when the cell executed and was measured."""
         return self.outcome is Outcome.OK
 
+    def to_dict(self) -> dict:
+        """A JSON-serialisable form (used by the run journal)."""
+        data = asdict(self)
+        data["outcome"] = self.outcome.value
+        return data
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "RunRecord":
+        """Inverse of :meth:`to_dict`."""
+        data = dict(raw)
+        data["outcome"] = Outcome(data["outcome"])
+        return cls(**data)
+
 
 @dataclass(frozen=True)
 class ExperimentConfig:
-    """Shared knobs for a figure/table driver."""
+    """Shared knobs for a figure/table driver.
+
+    ``retry_policy`` and ``journal`` opt a sweep into the resilience
+    layer: transient per-cell failures are retried (and quarantined as
+    structured ERROR records when they keep failing), and completed cells
+    are journalled after every cell so an interrupted sweep can be
+    re-run executing only the missing cells.
+    """
 
     scale: str = "small"
     iterations: int = 10
     seed: int = 7
     memory_budget: MemoryBudget = field(default_factory=MemoryBudget)
     deadline: Deadline = field(default_factory=Deadline)
+    retry_policy: RetryPolicy | None = None
+    journal: "RunJournal | None" = None
 
     # k per profile such that 2^k stays well below the scaled |V_B|
     # (paper regime: 2^10 = 1024 << |V_B| = 10,000).  Past that point
@@ -322,6 +350,18 @@ def instance_params(
     )
 
 
+def cell_key(algorithm: str, dataset: str, params: dict[str, object]) -> str:
+    """The canonical identity of one sweep cell (for the run journal).
+
+    Folds in every instance parameter the runner records (graph sizes,
+    query sizes, iteration count), so sweeping any axis — k, |V_B|, |Q|
+    — yields distinct keys while a re-run of the same sweep maps onto
+    the same ones.
+    """
+    rendered = ",".join(f"{key}={params[key]}" for key in sorted(params))
+    return f"{algorithm}|{dataset}|{rendered}"
+
+
 def run_algorithm(
     spec: AlgorithmSpec,
     graph_a: Graph,
@@ -332,6 +372,8 @@ def run_algorithm(
     memory_budget: MemoryBudget | None = None,
     deadline: Deadline | None = None,
     dataset: str = "",
+    retry_policy: RetryPolicy | None = None,
+    journal: "RunJournal | None" = None,
 ) -> RunRecord:
     """Gate, execute, and measure one experiment cell.
 
@@ -341,28 +383,88 @@ def run_algorithm(
     carrying the armed deadline and a live memory ledger; the context's
     metric snapshot (including partial metrics from interrupted runs) is
     stored on the record.
+
+    With a ``retry_policy``, transient failures (I/O hiccups, injected
+    faults) are retried with backoff; a cell that keeps failing is
+    *quarantined* as a structured ERROR record rather than aborting the
+    sweep.  With a ``journal``, an already-journalled cell is replayed
+    without executing and every finished cell is persisted immediately,
+    making multi-hour sweeps resumable cell by cell.
     """
     memory_budget = memory_budget or MemoryBudget()
     deadline = deadline or Deadline()
+    dataset = dataset or graph_a.name
     params = instance_params(graph_a, graph_b, queries_a, queries_b, iterations)
+    record_params: dict[str, object] = {
+        "n_a": params.n_a,
+        "n_b": params.n_b,
+        "m_a": params.m_a,
+        "m_b": params.m_b,
+        "q_a": params.q_a,
+        "q_b": params.q_b,
+        "k": iterations,
+    }
+    key = cell_key(spec.name, dataset, record_params)
+    if journal is not None:
+        replayed = journal.get(key)
+        if replayed is not None:
+            return replayed
+
+    max_attempts = retry_policy.max_attempts if retry_policy is not None else 1
+    record: RunRecord | None = None
+    for attempt in range(1, max_attempts + 1):
+        try:
+            record = _execute_cell(
+                spec, graph_a, graph_b, queries_a, queries_b, iterations,
+                memory_budget, deadline, dataset, params, record_params,
+            )
+        except Exception as exc:
+            if retry_policy is None or not retry_policy.is_transient(exc):
+                raise
+            if attempt >= max_attempts:
+                record = RunRecord(
+                    algorithm=spec.name,
+                    dataset=dataset,
+                    outcome=Outcome.ERROR,
+                    params=dict(record_params),
+                    note=f"quarantined after {attempt} attempts: {exc}",
+                    attempts=attempt,
+                )
+                break
+            time.sleep(retry_policy.delay(attempt))
+            continue
+        record.attempts = attempt
+        break
+    assert record is not None
+    if journal is not None:
+        journal.record(key, record)
+    return record
+
+
+def _execute_cell(
+    spec: AlgorithmSpec,
+    graph_a: Graph,
+    graph_b: Graph,
+    queries_a: np.ndarray,
+    queries_b: np.ndarray,
+    iterations: int,
+    memory_budget: MemoryBudget,
+    deadline: Deadline,
+    dataset: str,
+    params: InstanceParams,
+    record_params: dict[str, object],
+) -> RunRecord:
+    """One gated, measured attempt (structured vetoes become records)."""
     time_units, space_bytes = predict_cost(spec.cost_model, params)
     predicted_seconds = time_units / spec.units_per_second
     predicted_bytes = space_bytes * spec.working_set_factor
     record = RunRecord(
         algorithm=spec.name,
-        dataset=dataset or graph_a.name,
+        dataset=dataset,
         outcome=Outcome.OK,
         predicted_seconds=predicted_seconds,
         predicted_bytes=predicted_bytes,
-        params={
-            "n_a": params.n_a,
-            "n_b": params.n_b,
-            "m_a": params.m_a,
-            "m_b": params.m_b,
-            "q_a": params.q_a,
-            "q_b": params.q_b,
-            "k": iterations,
-        },
+        params=dict(record_params),
     )
     try:
         memory_budget.check(predicted_bytes, spec.name)

@@ -32,10 +32,16 @@ import json
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from typing import TYPE_CHECKING
+
 from repro.experiments.guards import Deadline, MemoryBudget
 from repro.experiments.runner import ALGORITHMS, RunRecord, run_algorithm
 from repro.graphs.datasets import DATASETS, load_dataset_pair
 from repro.workloads.queries import make_workload
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.experiments.journal import RunJournal
+    from repro.runtime.resilience import RetryPolicy
 
 __all__ = ["ExperimentSpec", "run_spec"]
 
@@ -116,11 +122,20 @@ class ExperimentSpec:
         return [{self.sweep_axis: value} for value in self.sweep_values]
 
 
-def run_spec(spec: ExperimentSpec) -> list[RunRecord]:
+def run_spec(
+    spec: ExperimentSpec,
+    journal: "RunJournal | None" = None,
+    retry_policy: "RetryPolicy | None" = None,
+) -> list[RunRecord]:
     """Expand and execute a spec; returns one record per cell.
 
     Cell order: dataset-major, then sweep value, then algorithm — the
     order the text report groups most readably.
+
+    ``journal`` makes the run resumable cell by cell (completed cells are
+    replayed, the rest executed and persisted immediately);
+    ``retry_policy`` retries transient per-cell failures and quarantines
+    cells that keep failing.
     """
     memory_budget = MemoryBudget(int(spec.memory_budget_mib * 1024 * 1024))
     deadline = Deadline(limit_seconds=spec.deadline_seconds)
@@ -148,6 +163,8 @@ def run_spec(spec: ExperimentSpec) -> list[RunRecord]:
                         memory_budget=memory_budget,
                         deadline=deadline,
                         dataset=dataset.upper(),
+                        retry_policy=retry_policy,
+                        journal=journal,
                     )
                 )
     return records

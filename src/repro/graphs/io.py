@@ -4,11 +4,24 @@ Supports the plain whitespace/tab-separated edge-list format used by the
 SNAP datasets the paper evaluates on (``# comment`` headers, one
 ``src dst [weight]`` pair per line), plus relabelling of arbitrary node ids
 to the contiguous ``0..n-1`` range :class:`repro.graphs.Graph` requires.
+
+Two parse modes handle the reality of scraped billion-edge dumps:
+
+``strict`` (the default)
+    Any malformed line — wrong field count, unparsable weight,
+    non-integer or negative id without ``relabel`` — raises ``ValueError``
+    naming the offending line number.  Right for curated inputs where a
+    bad line means a bad pipeline.
+``lenient``
+    Malformed lines are skipped and counted; one ``RuntimeWarning``
+    summarising the skip count fires at the end.  Right for raw crawls
+    where a handful of torn lines should not abort an hours-long load.
 """
 
 from __future__ import annotations
 
 import io
+import warnings
 from pathlib import Path
 from typing import Iterable, Iterator, TextIO
 
@@ -20,11 +33,34 @@ __all__ = [
     "write_edge_list",
 ]
 
+_MODES = ("strict", "lenient")
+
+
+class _SkipCounter:
+    """Counts lines dropped by lenient parsing (shared across stages)."""
+
+    def __init__(self) -> None:
+        self.skipped = 0
+        self.first_reason: str | None = None
+
+    def skip(self, reason: str) -> None:
+        self.skipped += 1
+        if self.first_reason is None:
+            self.first_reason = reason
+
+
+def _check_mode(mode: str) -> None:
+    if mode not in _MODES:
+        raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
+
 
 def _parse_lines(
-    lines: Iterable[str], comment: str
-) -> Iterator[tuple[str, str, float]]:
-    """Yield ``(src_token, dst_token, weight)`` from raw text lines."""
+    lines: Iterable[str],
+    comment: str,
+    mode: str = "strict",
+    skips: _SkipCounter | None = None,
+) -> Iterator[tuple[int, str, str, float]]:
+    """Yield ``(lineno, src_token, dst_token, weight)`` from raw lines."""
     for lineno, raw in enumerate(lines, start=1):
         line = raw.strip()
         if not line or line.startswith(comment):
@@ -38,26 +74,38 @@ def _parse_lines(
             try:
                 weight = float(parts[2])
             except ValueError as exc:
+                if mode == "lenient":
+                    assert skips is not None
+                    skips.skip(f"line {lineno}: invalid weight {parts[2]!r}")
+                    continue
                 raise ValueError(
                     f"line {lineno}: invalid weight {parts[2]!r}"
                 ) from exc
         else:
+            if mode == "lenient":
+                assert skips is not None
+                skips.skip(
+                    f"line {lineno}: expected 'src dst [weight]', got {line!r}"
+                )
+                continue
             raise ValueError(
                 f"line {lineno}: expected 'src dst [weight]', got {line!r}"
             )
-        yield src, dst, weight
+        yield lineno, src, dst, weight
 
 
 def _build_graph(
-    triples: Iterable[tuple[str, str, float]],
+    quads: Iterable[tuple[int, str, str, float]],
     relabel: bool,
     name: str,
+    mode: str = "strict",
+    skips: _SkipCounter | None = None,
 ) -> tuple[Graph, dict[str, int]]:
-    """Construct a Graph from parsed triples, optionally relabelling ids."""
+    """Construct a Graph from parsed records, optionally relabelling ids."""
     labels: dict[str, int] = {}
     edges: list[tuple[int, int, float]] = []
     max_id = -1
-    for src, dst, weight in triples:
+    for lineno, src, dst, weight in quads:
         if relabel:
             src_id = labels.setdefault(src, len(labels))
             dst_id = labels.setdefault(dst, len(labels))
@@ -65,15 +113,39 @@ def _build_graph(
             try:
                 src_id, dst_id = int(src), int(dst)
             except ValueError as exc:
+                if mode == "lenient":
+                    assert skips is not None
+                    skips.skip(
+                        f"line {lineno}: non-integer node id {src!r}/{dst!r}"
+                    )
+                    continue
                 raise ValueError(
-                    f"non-integer node id {src!r}/{dst!r}; pass relabel=True"
+                    f"line {lineno}: non-integer node id {src!r}/{dst!r}; "
+                    "pass relabel=True"
                 ) from exc
             if src_id < 0 or dst_id < 0:
-                raise ValueError("node ids must be non-negative without relabelling")
+                if mode == "lenient":
+                    assert skips is not None
+                    skips.skip(f"line {lineno}: negative node id")
+                    continue
+                raise ValueError(
+                    f"line {lineno}: node ids must be non-negative "
+                    "without relabelling"
+                )
         max_id = max(max_id, src_id, dst_id)
         edges.append((src_id, dst_id, weight))
     num_nodes = len(labels) if relabel else max_id + 1
     return Graph.from_edges(num_nodes, edges, name=name), labels
+
+
+def _warn_skips(skips: _SkipCounter, source: str) -> None:
+    if skips.skipped:
+        warnings.warn(
+            f"{source}: skipped {skips.skipped} malformed line(s) in "
+            f"lenient mode (first: {skips.first_reason})",
+            RuntimeWarning,
+            stacklevel=3,
+        )
 
 
 def read_edge_list(
@@ -81,6 +153,7 @@ def read_edge_list(
     relabel: bool = False,
     comment: str = "#",
     name: str | None = None,
+    mode: str = "strict",
 ) -> Graph:
     """Read a directed graph from an edge-list file.
 
@@ -96,12 +169,23 @@ def read_edge_list(
         Lines starting with this prefix are skipped (SNAP uses ``#``).
     name:
         Graph name; defaults to the file stem.
+    mode:
+        ``"strict"`` (default) raises ``ValueError`` with the line number
+        on any malformed line; ``"lenient"`` skips malformed lines and
+        emits one counted ``RuntimeWarning``.
     """
+    _check_mode(mode)
     path = Path(path)
+    skips = _SkipCounter()
     with path.open("r", encoding="utf-8") as handle:
         graph, _ = _build_graph(
-            _parse_lines(handle, comment), relabel, name or path.stem
+            _parse_lines(handle, comment, mode, skips),
+            relabel,
+            name or path.stem,
+            mode,
+            skips,
         )
+    _warn_skips(skips, str(path))
     return graph
 
 
@@ -110,10 +194,16 @@ def read_edge_list_text(
     relabel: bool = False,
     comment: str = "#",
     name: str = "graph",
+    mode: str = "strict",
 ) -> Graph:
     """Like :func:`read_edge_list` but parses an in-memory string."""
+    _check_mode(mode)
     buffer = io.StringIO(text)
-    graph, _ = _build_graph(_parse_lines(buffer, comment), relabel, name)
+    skips = _SkipCounter()
+    graph, _ = _build_graph(
+        _parse_lines(buffer, comment, mode, skips), relabel, name, mode, skips
+    )
+    _warn_skips(skips, name)
     return graph
 
 

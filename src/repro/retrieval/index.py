@@ -22,6 +22,12 @@ from repro.core.gsim_plus import GSimPlus
 from repro.core.topk import ScoredPair
 from repro.graphs.graph import Graph
 from repro.runtime import ExecutionContext, Metrics
+from repro.runtime.errors import CorruptArtifactError
+from repro.runtime.resilience import (
+    CheckpointManager,
+    atomic_write,
+    content_checksum,
+)
 from repro.utils.validation import check_positive_integer
 
 __all__ = ["GSimIndex", "IndexMetadata"]
@@ -80,6 +86,9 @@ class GSimIndex:
         iterations: int = 10,
         initial_factors: tuple[np.ndarray, np.ndarray] | None = None,
         context: ExecutionContext | None = None,
+        checkpoints: CheckpointManager | str | Path | None = None,
+        checkpoint_every: int = 1,
+        resume_from: CheckpointManager | str | Path | None = None,
     ) -> "GSimIndex":
         """Iterate GSim+ (QR-compressed cap, so the result stays factored)
         and wrap the final factors.
@@ -89,6 +98,11 @@ class GSimIndex:
         when none is passed, and persisted in
         :attr:`IndexMetadata.build_metrics` either way — so a served score
         can be traced back to the run that produced the factors.
+
+        ``checkpoints`` / ``checkpoint_every`` / ``resume_from`` forward
+        to :meth:`GSimPlus.iterate`, so an interrupted multi-hour build
+        restarts at its last snapshotted iteration instead of from
+        scratch.
         """
         iterations = check_positive_integer(iterations, "iterations")
         if context is None:
@@ -101,7 +115,13 @@ class GSimIndex:
         )
         state = None
         with context.metrics.time("index.build"):
-            for state in solver.iterate(iterations, context=context):
+            for state in solver.iterate(
+                iterations,
+                context=context,
+                checkpoints=checkpoints,
+                checkpoint_every=checkpoint_every,
+                resume_from=resume_from,
+            ):
                 pass
         assert state is not None and state.factors is not None
         metadata = IndexMetadata(
@@ -121,40 +141,87 @@ class GSimIndex:
     # Persistence
     # ------------------------------------------------------------------
     def save(self, path: str | Path) -> None:
-        """Write factors + metadata to one ``.npz``."""
+        """Atomically write factors + metadata to one ``.npz``.
+
+        The write goes to a sibling temp file published with
+        ``os.replace`` and embeds a SHA-256 content checksum, so a crash
+        mid-save never clobbers a good index and a garbled file is
+        detected on load rather than served.
+        """
         path = Path(path)
-        np.savez_compressed(
-            path,
-            u=self._factors.u,
-            v=self._factors.v,
-            log_scale=np.float64(self._factors.log_scale),
-            metadata_json=np.str_(json.dumps(asdict(self._metadata))),
-        )
+        content = {
+            "u": self._factors.u,
+            "v": self._factors.v,
+            "log_scale": np.float64(self._factors.log_scale),
+            "metadata_json": json.dumps(asdict(self._metadata)),
+        }
+        digest = content_checksum(content)
+        with atomic_write(path) as tmp:
+            with open(tmp, "wb") as handle:
+                np.savez_compressed(
+                    handle,
+                    u=content["u"],
+                    v=content["v"],
+                    log_scale=content["log_scale"],
+                    metadata_json=np.str_(content["metadata_json"]),
+                    checksum=np.str_(digest),
+                )
 
     @classmethod
     def load(cls, path: str | Path) -> "GSimIndex":
-        """Restore an index written by :meth:`save`.
+        """Restore and verify an index written by :meth:`save`.
 
         Raises ``ValueError`` on missing arrays or a newer metadata
-        version than this library understands.
+        version than this library understands, and
+        :class:`repro.runtime.CorruptArtifactError` when the file is
+        unreadable or fails its checksum — rebuild the index with
+        :meth:`build` in that case.
         """
         path = Path(path)
-        with np.load(path) as archive:
-            missing = {"u", "v", "log_scale", "metadata_json"} - set(archive.files)
-            if missing:
-                raise ValueError(
-                    f"{path} is not a GSimIndex file (missing {sorted(missing)})"
-                )
-            raw = json.loads(str(archive["metadata_json"]))
-            if raw.get("metadata_version", 0) > _METADATA_VERSION:
-                raise ValueError(
-                    f"{path} was written by a newer library "
-                    f"(metadata v{raw['metadata_version']})"
-                )
-            metadata = IndexMetadata(**raw)
-            factors = LowRankFactors(
-                archive["u"].copy(), archive["v"].copy(), float(archive["log_scale"])
+        wanted = {"u", "v", "log_scale", "metadata_json", "checksum"}
+        try:
+            with np.load(path, allow_pickle=False) as archive:
+                arrays = {
+                    name: archive[name].copy()
+                    for name in archive.files
+                    if name in wanted
+                }
+        except FileNotFoundError:
+            raise
+        except Exception as exc:  # truncated zip, bad CRC, bad header...
+            raise CorruptArtifactError(
+                f"cannot read GSimIndex file {path} ({exc}); the artifact "
+                "is corrupt — rebuild it with GSimIndex.build",
+                path=str(path),
+            ) from exc
+        missing = {"u", "v", "log_scale", "metadata_json"} - set(arrays)
+        if missing:
+            raise ValueError(
+                f"{path} is not a GSimIndex file (missing {sorted(missing)})"
             )
+        if "checksum" in arrays:
+            content = {
+                "u": arrays["u"],
+                "v": arrays["v"],
+                "log_scale": arrays["log_scale"],
+                "metadata_json": str(arrays["metadata_json"]),
+            }
+            if content_checksum(content) != str(arrays["checksum"]):
+                raise CorruptArtifactError(
+                    f"checksum mismatch in GSimIndex file {path}; the "
+                    "artifact is corrupt — rebuild it with GSimIndex.build",
+                    path=str(path),
+                )
+        raw = json.loads(str(arrays["metadata_json"]))
+        if raw.get("metadata_version", 0) > _METADATA_VERSION:
+            raise ValueError(
+                f"{path} was written by a newer library "
+                f"(metadata v{raw['metadata_version']})"
+            )
+        metadata = IndexMetadata(**raw)
+        factors = LowRankFactors(
+            arrays["u"], arrays["v"], float(arrays["log_scale"])
+        )
         return cls(factors, metadata)
 
     # ------------------------------------------------------------------

@@ -24,21 +24,41 @@ from repro.runtime.context import CancellationToken, ExecutionContext
 from repro.runtime.errors import (
     BudgetExceeded,
     Cancelled,
+    CorruptArtifactError,
     DeadlineExceeded,
+    InjectedFault,
     MemoryBudgetExceeded,
+    TransientError,
 )
 from repro.runtime.metrics import Metrics
+from repro.runtime.resilience import (
+    Checkpoint,
+    CheckpointManager,
+    FaultInjector,
+    RetryPolicy,
+    atomic_write,
+    content_checksum,
+)
 
 __all__ = [
     "BudgetExceeded",
     "CancellationToken",
     "Cancelled",
+    "Checkpoint",
+    "CheckpointManager",
+    "CorruptArtifactError",
     "Deadline",
     "DeadlineExceeded",
     "ExecutionContext",
+    "FaultInjector",
+    "InjectedFault",
     "MemoryBudget",
     "MemoryBudgetExceeded",
     "MemoryLedger",
     "Metrics",
+    "RetryPolicy",
+    "TransientError",
     "WallClockDeadline",
+    "atomic_write",
+    "content_checksum",
 ]

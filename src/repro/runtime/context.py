@@ -80,6 +80,11 @@ class ExecutionContext:
         The :class:`repro.runtime.metrics.Metrics` sink; a fresh one is
         created when omitted, so ``ExecutionContext()`` is a pure
         metrics-collection context with no budgets at all.
+    fault_injector:
+        An optional :class:`repro.runtime.resilience.FaultInjector` (or
+        anything with an ``on_checkpoint(what)`` method) consulted at
+        every :meth:`checkpoint`, so tests can deterministically kill a
+        run at its *n*-th checkpoint and assert recovery.
 
     Examples
     --------
@@ -90,7 +95,7 @@ class ExecutionContext:
     1.0
     """
 
-    __slots__ = ("deadline", "memory", "cancellation", "metrics")
+    __slots__ = ("deadline", "memory", "cancellation", "metrics", "fault_injector")
 
     def __init__(
         self,
@@ -98,11 +103,13 @@ class ExecutionContext:
         memory: MemoryLedger | None = None,
         cancellation: CancellationToken | None = None,
         metrics: Metrics | None = None,
+        fault_injector: "Any | None" = None,
     ) -> None:
         self.deadline = deadline
         self.memory = memory
         self.cancellation = cancellation
         self.metrics = metrics if metrics is not None else Metrics()
+        self.fault_injector = fault_injector
 
     @classmethod
     def start(
@@ -111,6 +118,7 @@ class ExecutionContext:
         memory_limit_bytes: int | None = None,
         cancellation: CancellationToken | None = None,
         metrics: Metrics | None = None,
+        fault_injector: "Any | None" = None,
     ) -> "ExecutionContext":
         """Arm a context from plain limits (the common construction)."""
         deadline = (
@@ -128,6 +136,7 @@ class ExecutionContext:
             memory=memory,
             cancellation=cancellation,
             metrics=metrics,
+            fault_injector=fault_injector,
         )
 
     # ------------------------------------------------------------------
@@ -149,6 +158,8 @@ class ExecutionContext:
                 "wall-clock budget",
                 metrics=self.metrics.snapshot(),
             )
+        if self.fault_injector is not None:
+            self.fault_injector.on_checkpoint(what)
 
     def charge(self, num_bytes: float, what: str = "allocation") -> None:
         """Charge a working set against the ledger (no-op without one).

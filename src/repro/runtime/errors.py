@@ -19,8 +19,11 @@ from typing import Any
 __all__ = [
     "BudgetExceeded",
     "Cancelled",
+    "CorruptArtifactError",
     "DeadlineExceeded",
+    "InjectedFault",
     "MemoryBudgetExceeded",
+    "TransientError",
 ]
 
 
@@ -60,3 +63,48 @@ class Cancelled(BudgetExceeded):
     """A computation observed its cancellation token at a checkpoint."""
 
     reason = "cancelled"
+
+
+class TransientError(RuntimeError):
+    """A failure expected to succeed on retry (I/O hiccup, preemption).
+
+    :class:`repro.runtime.resilience.RetryPolicy` classifies subclasses of
+    this (and plain ``OSError``) as retryable; everything else — bad input,
+    exhausted budgets, cancellation — is fatal and surfaces immediately.
+    """
+
+
+class InjectedFault(TransientError):
+    """A deterministic fault raised by a test-time fault injector.
+
+    Attributes
+    ----------
+    checkpoint_number:
+        Ordinal (1-based) of the :class:`ExecutionContext` checkpoint at
+        which the fault fired, so tests can assert *where* a run died.
+    """
+
+    def __init__(self, message: str, *, checkpoint_number: int = 0) -> None:
+        super().__init__(message)
+        self.checkpoint_number = checkpoint_number
+
+
+class CorruptArtifactError(RuntimeError):
+    """A persisted artifact failed its integrity check on load.
+
+    Raised instead of returning silently-garbled factors when a saved
+    ``.npz`` (factors, index, checkpoint) is truncated, bit-flipped, or
+    otherwise fails checksum verification.  The documented fallback is to
+    rebuild the artifact from its source graphs (``gsim_plus`` /
+    ``GSimIndex.build``) — the message names it so operators see the
+    remedy next to the failure.
+
+    Attributes
+    ----------
+    path:
+        The offending file, when known.
+    """
+
+    def __init__(self, message: str, *, path: "str | None" = None) -> None:
+        super().__init__(message)
+        self.path = path

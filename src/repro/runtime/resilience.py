@@ -1,0 +1,464 @@
+"""Resilience primitives: retries, checkpoints, and fault injection.
+
+A billion-scale factor build or a multi-hour sweep *will* be interrupted —
+OOM kills, preemption, bad input.  This module turns those interruptions
+from total losses into bounded ones:
+
+* :class:`RetryPolicy` — exponential backoff with deterministic seeded
+  jitter and a transient-vs-fatal classification built on the
+  :class:`repro.runtime.errors.BudgetExceeded` hierarchy, so an I/O hiccup
+  is retried while an exhausted budget or a cancellation is not;
+* :class:`CheckpointManager` — numbered, checksummed snapshots written via
+  :func:`atomic_write` (sibling temp file + ``os.replace``), with
+  latest-*valid*-snapshot discovery that skips corrupt files instead of
+  resuming from garbage;
+* :class:`FaultInjector` — a seeded hook that rides the
+  :meth:`repro.runtime.context.ExecutionContext.checkpoint` polls already
+  threaded through every compute loop, so tests can kill a run at exactly
+  checkpoint *n* (or with a seeded probability) and assert recovery.
+
+All three are deliberately dependency-free above :mod:`repro.runtime`:
+the core solver, the experiment harness, and the serialization layer all
+build on them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import random
+import time
+import warnings
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterator, Mapping, Sequence, TypeVar
+
+import numpy as np
+
+from repro.runtime.errors import (
+    BudgetExceeded,
+    Cancelled,
+    CorruptArtifactError,
+    DeadlineExceeded,
+    InjectedFault,
+    MemoryBudgetExceeded,
+    TransientError,
+)
+
+__all__ = [
+    "Checkpoint",
+    "CheckpointManager",
+    "FaultInjector",
+    "RetryPolicy",
+    "atomic_write",
+    "content_checksum",
+]
+
+_T = TypeVar("_T")
+
+
+# ----------------------------------------------------------------------
+# Atomic writes and content checksums (shared by every artifact writer)
+# ----------------------------------------------------------------------
+@contextmanager
+def atomic_write(path: str | Path) -> Iterator[Path]:
+    """Yield a sibling temp path; publish it over ``path`` on success.
+
+    The caller writes the complete artifact to the yielded path.  On a
+    clean exit the temp file is fsynced and renamed over ``path`` with
+    :func:`os.replace` — atomic on POSIX — so a crash mid-write can never
+    clobber an existing good artifact: readers observe either the old
+    complete file or the new complete file.  On failure the temp file is
+    removed and ``path`` is untouched.
+
+    Examples
+    --------
+    >>> import tempfile, pathlib
+    >>> target = pathlib.Path(tempfile.mkdtemp()) / "artifact.txt"
+    >>> with atomic_write(target) as tmp:
+    ...     _ = tmp.write_text("complete")
+    >>> target.read_text()
+    'complete'
+    """
+    path = Path(path)
+    tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+    try:
+        yield tmp
+        fd = os.open(tmp, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+
+
+def content_checksum(items: Mapping[str, Any]) -> str:
+    """A stable SHA-256 digest of named arrays / scalars / strings.
+
+    Arrays contribute dtype, shape, and raw bytes; everything else
+    contributes its JSON encoding.  Names are folded in sorted order so
+    the digest is independent of dict insertion order.
+    """
+    digest = hashlib.sha256()
+    for name in sorted(items):
+        value = items[name]
+        digest.update(name.encode("utf-8"))
+        if isinstance(value, np.ndarray) or np.isscalar(value):
+            array = np.asarray(value)
+            digest.update(str(array.dtype).encode("ascii"))
+            digest.update(str(array.shape).encode("ascii"))
+            digest.update(array.tobytes())
+        else:
+            digest.update(json.dumps(value, sort_keys=True).encode("utf-8"))
+    return digest.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Retry policy
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with deterministic seeded jitter.
+
+    Classification rides the structured error hierarchy: subclasses of
+    :class:`repro.runtime.errors.TransientError` (including injected
+    faults) and plain ``OSError`` are *transient* — worth retrying —
+    while cancellation, exhausted budgets (deterministic under the same
+    limits), corrupt artifacts, and programming errors are *fatal* and
+    surface immediately.  Set ``retry_budget_failures=True`` to also
+    retry deadline / memory breaches (useful on shared machines where a
+    breach may be load-induced rather than intrinsic).
+
+    Jitter is decorrelated but *deterministic*: attempt ``i`` under seed
+    ``s`` always backs off the same amount, so resilience tests replay
+    exactly.
+
+    Examples
+    --------
+    >>> policy = RetryPolicy(max_attempts=3, base_delay=0.5, seed=7)
+    >>> [round(policy.delay(i), 3) == round(policy.delay(i), 3) for i in (1, 2)]
+    [True, True]
+    >>> policy.is_transient(OSError("disk hiccup"))
+    True
+    >>> policy.is_transient(ValueError("bad input"))
+    False
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.1
+    multiplier: float = 2.0
+    max_delay: float = 30.0
+    jitter: float = 0.5
+    seed: int = 0
+    retry_budget_failures: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (1-based), jitter included."""
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        base = min(self.base_delay * self.multiplier ** (attempt - 1), self.max_delay)
+        if self.jitter == 0.0 or base == 0.0:
+            return base
+        rng = random.Random(f"{self.seed}:{attempt}")
+        return base * (1.0 - self.jitter * rng.random())
+
+    def is_transient(self, exc: BaseException) -> bool:
+        """Whether ``exc`` is worth retrying under this policy."""
+        if isinstance(exc, Cancelled):
+            return False
+        if isinstance(exc, (DeadlineExceeded, MemoryBudgetExceeded)):
+            return self.retry_budget_failures
+        if isinstance(exc, BudgetExceeded):
+            return False
+        if isinstance(exc, CorruptArtifactError):
+            return False
+        return isinstance(exc, (TransientError, OSError))
+
+    def call(
+        self,
+        fn: Callable[..., _T],
+        *args: Any,
+        what: str = "operation",
+        sleep: Callable[[float], None] = time.sleep,
+        on_retry: Callable[[int, BaseException], None] | None = None,
+        **kwargs: Any,
+    ) -> _T:
+        """Run ``fn`` with retries; fatal or exhausted failures re-raise.
+
+        ``on_retry(attempt, exc)`` fires before each backoff — callers
+        use it to log or to reset per-attempt state (e.g. point a solver
+        at its latest checkpoint).
+        """
+        for attempt in range(1, self.max_attempts + 1):
+            try:
+                return fn(*args, **kwargs)
+            except BaseException as exc:
+                if not self.is_transient(exc) or attempt >= self.max_attempts:
+                    raise
+                if on_retry is not None:
+                    on_retry(attempt, exc)
+                pause = self.delay(attempt)
+                if pause > 0.0:
+                    sleep(pause)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+
+# ----------------------------------------------------------------------
+# Checkpoints
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Checkpoint:
+    """One verified snapshot: a step number, named arrays, and metadata."""
+
+    step: int
+    arrays: dict[str, np.ndarray]
+    meta: dict[str, Any] = field(default_factory=dict)
+
+
+class CheckpointManager:
+    """Numbered, checksummed ``.npz`` snapshots in one directory.
+
+    Every :meth:`save` goes through :func:`atomic_write`, embeds a
+    SHA-256 :func:`content_checksum` of its payload, and prunes old
+    snapshots down to ``keep``.  Every load re-verifies the checksum and
+    raises :class:`repro.runtime.errors.CorruptArtifactError` on any
+    mismatch or unreadable file; :meth:`load_latest_valid` walks
+    snapshots newest-first and returns the first that verifies, so one
+    corrupt file costs one snapshot interval, never the whole run.
+
+    Examples
+    --------
+    >>> import tempfile
+    >>> manager = CheckpointManager(tempfile.mkdtemp())
+    >>> _ = manager.save(3, {"u": np.ones(2)}, meta={"kind": "demo"})
+    >>> manager.load_latest_valid().step
+    3
+    """
+
+    _META_KEY = "__meta_json__"
+    _CHECKSUM_KEY = "__checksum__"
+
+    def __init__(
+        self, directory: str | Path, prefix: str = "checkpoint", keep: int = 3
+    ) -> None:
+        if keep < 1:
+            raise ValueError(f"keep must be >= 1, got {keep}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.prefix = prefix
+        self.keep = keep
+
+    def path_for(self, step: int) -> Path:
+        """Where snapshot ``step`` lives."""
+        return self.directory / f"{self.prefix}-{step:08d}.npz"
+
+    def steps(self) -> list[int]:
+        """Snapshot step numbers present on disk, ascending."""
+        found = []
+        for entry in self.directory.glob(f"{self.prefix}-*.npz"):
+            token = entry.stem.rsplit("-", 1)[-1]
+            if token.isdigit():
+                found.append(int(token))
+        return sorted(found)
+
+    def save(
+        self,
+        step: int,
+        arrays: Mapping[str, np.ndarray],
+        meta: Mapping[str, Any] | None = None,
+    ) -> Path:
+        """Write snapshot ``step`` atomically; prune beyond ``keep``."""
+        if step < 0:
+            raise ValueError(f"step must be non-negative, got {step}")
+        reserved = [name for name in arrays if name.startswith("__")]
+        if reserved:
+            raise ValueError(f"array names {reserved} are reserved")
+        meta_blob = json.dumps({"step": step, **(meta or {})}, sort_keys=True)
+        content = {name: np.asarray(value) for name, value in arrays.items()}
+        digest = content_checksum({**content, self._META_KEY: meta_blob})
+        path = self.path_for(step)
+        with atomic_write(path) as tmp:
+            with open(tmp, "wb") as handle:
+                np.savez(
+                    handle,
+                    **content,
+                    **{
+                        self._META_KEY: np.str_(meta_blob),
+                        self._CHECKSUM_KEY: np.str_(digest),
+                    },
+                )
+        self._prune()
+        return path
+
+    def load(self, step: int) -> Checkpoint:
+        """Load and verify snapshot ``step``."""
+        return self._read(self.path_for(step))
+
+    def load_latest_valid(self) -> Checkpoint | None:
+        """The newest snapshot that passes verification, or ``None``.
+
+        Corrupt snapshots encountered on the way are skipped with a
+        warning rather than aborting recovery.
+        """
+        for step in reversed(self.steps()):
+            try:
+                return self.load(step)
+            except CorruptArtifactError as exc:
+                warnings.warn(
+                    f"skipping corrupt checkpoint {self.path_for(step)}: {exc}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+        return None
+
+    def clear(self) -> None:
+        """Delete every snapshot (e.g. after a run completes)."""
+        for step in self.steps():
+            self.path_for(step).unlink(missing_ok=True)
+
+    # ------------------------------------------------------------------
+    def _read(self, path: Path) -> Checkpoint:
+        if not path.exists():
+            raise CorruptArtifactError(
+                f"checkpoint {path} does not exist", path=str(path)
+            )
+        try:
+            with np.load(path, allow_pickle=False) as archive:
+                names = set(archive.files)
+                if self._CHECKSUM_KEY not in names or self._META_KEY not in names:
+                    raise CorruptArtifactError(
+                        f"{path} is not a checkpoint (missing integrity fields)",
+                        path=str(path),
+                    )
+                stored = str(archive[self._CHECKSUM_KEY])
+                meta_blob = str(archive[self._META_KEY])
+                arrays = {
+                    name: archive[name].copy()
+                    for name in names
+                    if not name.startswith("__")
+                }
+        except CorruptArtifactError:
+            raise
+        except Exception as exc:  # truncated zip, bad CRC, bad header...
+            raise CorruptArtifactError(
+                f"cannot read checkpoint {path} ({exc}); the snapshot is "
+                "corrupt — resume will fall back to an earlier one, or "
+                "rebuild from scratch",
+                path=str(path),
+            ) from exc
+        payload: dict[str, Any] = dict(arrays)
+        payload[self._META_KEY] = meta_blob
+        if content_checksum(payload) != stored:
+            raise CorruptArtifactError(
+                f"checksum mismatch in checkpoint {path}; the snapshot is "
+                "corrupt — resume will fall back to an earlier one, or "
+                "rebuild from scratch",
+                path=str(path),
+            )
+        meta = json.loads(meta_blob)
+        step = int(meta.pop("step"))
+        return Checkpoint(step=step, arrays=arrays, meta=meta)
+
+    def _prune(self) -> None:
+        steps = self.steps()
+        for step in steps[: max(0, len(steps) - self.keep)]:
+            self.path_for(step).unlink(missing_ok=True)
+
+    def __repr__(self) -> str:
+        return (
+            f"CheckpointManager({str(self.directory)!r}, "
+            f"prefix={self.prefix!r}, keep={self.keep}, "
+            f"snapshots={len(self.steps())})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Fault injection
+# ----------------------------------------------------------------------
+class FaultInjector:
+    """Deterministic faults at :class:`ExecutionContext` checkpoints.
+
+    Attach one to an :class:`repro.runtime.ExecutionContext` and every
+    ``context.checkpoint(what)`` poll — already threaded through each
+    compute loop — also asks the injector whether to die here.  Two
+    firing modes compose:
+
+    * ``fail_at`` — fire at exactly these 1-based checkpoint ordinals
+      (an int or a collection), the workhorse for crash/resume tests;
+    * ``probability`` + ``seed`` — fire with a seeded Bernoulli draw per
+      checkpoint, for soak-style chaos runs that still replay exactly.
+
+    ``match`` restricts counting to checkpoints whose label contains the
+    substring (e.g. ``"GSim+ iteration"``), so injection points are
+    stable even when unrelated checkpoints are added elsewhere.
+
+    Examples
+    --------
+    >>> injector = FaultInjector(fail_at=2)
+    >>> injector.on_checkpoint("step")     # checkpoint 1: survives
+    >>> try:
+    ...     injector.on_checkpoint("step")  # checkpoint 2: fires
+    ... except InjectedFault as exc:
+    ...     exc.checkpoint_number
+    2
+    """
+
+    def __init__(
+        self,
+        fail_at: int | Sequence[int] | None = None,
+        probability: float = 0.0,
+        seed: int = 0,
+        match: str | None = None,
+    ) -> None:
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {probability}")
+        if fail_at is None:
+            self.fail_at: frozenset[int] = frozenset()
+        elif isinstance(fail_at, int):
+            self.fail_at = frozenset({fail_at})
+        else:
+            self.fail_at = frozenset(int(value) for value in fail_at)
+        if any(value < 1 for value in self.fail_at):
+            raise ValueError("fail_at ordinals are 1-based and must be >= 1")
+        self.probability = float(probability)
+        self.match = match
+        self._rng = random.Random(seed)
+        self.checkpoints_seen = 0
+        self.faults_fired: list[tuple[int, str]] = []
+
+    def on_checkpoint(self, what: str = "computation") -> None:
+        """Count a checkpoint; raise :class:`InjectedFault` when due."""
+        if self.match is not None and self.match not in what:
+            return
+        self.checkpoints_seen += 1
+        ordinal = self.checkpoints_seen
+        fire = ordinal in self.fail_at
+        if not fire and self.probability > 0.0:
+            fire = self._rng.random() < self.probability
+        if fire:
+            self.faults_fired.append((ordinal, what))
+            raise InjectedFault(
+                f"injected fault at checkpoint #{ordinal} ({what})",
+                checkpoint_number=ordinal,
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultInjector(fail_at={sorted(self.fail_at)}, "
+            f"probability={self.probability}, seen={self.checkpoints_seen}, "
+            f"fired={len(self.faults_fired)})"
+        )

@@ -65,6 +65,62 @@ class TestReadText:
             read_edge_list_text("0 1\n0 1 zzz\n")
 
 
+class TestParseModes:
+    def test_default_is_strict(self):
+        with pytest.raises(ValueError, match="line 2"):
+            read_edge_list_text("0 1\n0 1 2 3\n")
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="mode"):
+            read_edge_list_text("0 1\n", mode="forgiving")
+
+    def test_lenient_skips_wrong_arity(self):
+        with pytest.warns(RuntimeWarning, match="skipped 1 malformed"):
+            g = read_edge_list_text("0 1\n0 1 2 3\n1 2\n", mode="lenient")
+        assert g.num_edges == 2
+
+    def test_lenient_skips_bad_weight(self):
+        with pytest.warns(RuntimeWarning, match="invalid weight"):
+            g = read_edge_list_text("0 1 heavy\n0 1 2.0\n", mode="lenient")
+        assert g.num_edges == 1
+        assert g.adjacency[0, 1] == 2.0
+
+    def test_lenient_skips_non_integer_ids(self):
+        with pytest.warns(RuntimeWarning, match="non-integer node id"):
+            g = read_edge_list_text("alice bob\n0 1\n", mode="lenient")
+        assert g.num_edges == 1
+
+    def test_lenient_skips_negative_ids(self):
+        with pytest.warns(RuntimeWarning, match="skipped 1 malformed"):
+            g = read_edge_list_text("-1 2\n0 1\n", mode="lenient")
+        assert g.num_edges == 1
+        assert g.num_nodes == 2
+
+    def test_lenient_counts_every_skip(self):
+        text = "0 1\nx y\n0 1 bad\n0\n1 2\n"
+        with pytest.warns(RuntimeWarning, match="skipped 3 malformed"):
+            g = read_edge_list_text(text, mode="lenient")
+        assert g.num_edges == 2
+
+    def test_lenient_clean_input_is_silent(self, recwarn):
+        g = read_edge_list_text("0 1\n1 2\n", mode="lenient")
+        assert g.num_edges == 2
+        assert not [w for w in recwarn if w.category is RuntimeWarning]
+
+    def test_strict_reports_first_bad_line_number(self):
+        with pytest.raises(ValueError, match="line 3"):
+            read_edge_list_text("0 1\n1 2\nbroken line here extra\n")
+
+    def test_lenient_file_read(self, tmp_path):
+        path = tmp_path / "dirty.txt"
+        path.write_text("# crawl dump\n0 1\ngarbage\n1 2\n", encoding="utf-8")
+        with pytest.raises(ValueError):
+            read_edge_list(path)
+        with pytest.warns(RuntimeWarning, match="dirty.txt"):
+            g = read_edge_list(path, mode="lenient")
+        assert g.num_edges == 2
+
+
 class TestFileRoundTrip:
     def test_round_trip(self, tmp_path, random_pair):
         graph, _ = random_pair

@@ -1,0 +1,674 @@
+"""Resilience layer: retries, checkpoints, fault injection, corruption.
+
+The crash/resume tests are the heart of this file: a fault-injected kill
+at iteration *k* followed by a resume must produce **bit-identical**
+factors and scores — one GSim+ iteration is a deterministic function of
+its exactly round-tripped state, so any drift is a bug.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.embeddings import LowRankFactors
+from repro.core.gsim_plus import GSimPlus, gsim_plus
+from repro.core.serialization import load_factors, save_factors
+from repro.experiments.journal import RunJournal
+from repro.experiments.runner import (
+    ALGORITHMS,
+    AlgorithmSpec,
+    Outcome,
+    cell_key,
+    run_algorithm,
+)
+from repro.graphs import Graph
+from repro.retrieval.index import GSimIndex
+from repro.runtime import ExecutionContext, Metrics
+from repro.runtime.errors import (
+    Cancelled,
+    CorruptArtifactError,
+    DeadlineExceeded,
+    InjectedFault,
+    TransientError,
+)
+from repro.runtime.resilience import (
+    CheckpointManager,
+    FaultInjector,
+    RetryPolicy,
+    atomic_write,
+    content_checksum,
+)
+
+
+def _flip_byte(path, offset=-20):
+    """Corrupt one byte of ``path`` in place."""
+    blob = bytearray(path.read_bytes())
+    blob[offset] ^= 0xFF
+    path.write_bytes(bytes(blob))
+
+
+# ----------------------------------------------------------------------
+# atomic_write / content_checksum
+# ----------------------------------------------------------------------
+class TestAtomicWrite:
+    def test_publishes_on_success(self, tmp_path):
+        target = tmp_path / "artifact.txt"
+        with atomic_write(target) as tmp:
+            tmp.write_text("complete")
+        assert target.read_text() == "complete"
+        assert list(tmp_path.iterdir()) == [target]
+
+    def test_failure_preserves_existing_file(self, tmp_path):
+        target = tmp_path / "artifact.txt"
+        target.write_text("old good copy")
+        with pytest.raises(RuntimeError, match="mid-write crash"):
+            with atomic_write(target) as tmp:
+                tmp.write_text("partial gar")
+                raise RuntimeError("mid-write crash")
+        assert target.read_text() == "old good copy"
+        assert list(tmp_path.iterdir()) == [target]
+
+
+class TestContentChecksum:
+    def test_independent_of_insertion_order(self):
+        a = {"u": np.arange(4.0), "v": np.ones(3), "tag": "x"}
+        b = {"tag": "x", "v": np.ones(3), "u": np.arange(4.0)}
+        assert content_checksum(a) == content_checksum(b)
+
+    def test_sensitive_to_values_and_names(self):
+        base = content_checksum({"u": np.arange(4.0)})
+        assert content_checksum({"u": np.arange(1, 5.0)}) != base
+        assert content_checksum({"w": np.arange(4.0)}) != base
+
+
+# ----------------------------------------------------------------------
+# RetryPolicy
+# ----------------------------------------------------------------------
+class TestRetryPolicy:
+    def test_delay_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(base_delay=0.5, multiplier=2.0, max_delay=4.0, seed=9)
+        delays = [policy.delay(i) for i in (1, 2, 3, 4, 5, 6)]
+        assert delays == [policy.delay(i) for i in (1, 2, 3, 4, 5, 6)]
+        assert all(0.0 < d <= 4.0 for d in delays)
+
+    def test_different_seeds_jitter_differently(self):
+        a = RetryPolicy(seed=1).delay(1)
+        b = RetryPolicy(seed=2).delay(1)
+        assert a != b
+
+    def test_classification(self):
+        policy = RetryPolicy()
+        assert policy.is_transient(TransientError("hiccup"))
+        assert policy.is_transient(InjectedFault("chaos", checkpoint_number=1))
+        assert policy.is_transient(OSError("disk"))
+        assert not policy.is_transient(ValueError("bad input"))
+        assert not policy.is_transient(Cancelled("stop"))
+        assert not policy.is_transient(DeadlineExceeded("too slow"))
+        assert not policy.is_transient(CorruptArtifactError("bad", path="x"))
+
+    def test_budget_failures_opt_in(self):
+        policy = RetryPolicy(retry_budget_failures=True)
+        assert policy.is_transient(DeadlineExceeded("load spike"))
+        assert not policy.is_transient(Cancelled("stop"))
+
+    def test_call_retries_then_succeeds(self):
+        attempts = []
+        sleeps = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise TransientError("not yet")
+            return "done"
+
+        policy = RetryPolicy(max_attempts=3, base_delay=0.25, seed=0)
+        result = policy.call(flaky, what="flaky", sleep=sleeps.append)
+        assert result == "done"
+        assert len(attempts) == 3
+        assert sleeps == [policy.delay(1), policy.delay(2)]
+
+    def test_call_reraises_fatal_immediately(self):
+        attempts = []
+
+        def broken():
+            attempts.append(1)
+            raise ValueError("programming error")
+
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=5).call(broken, sleep=lambda _: None)
+        assert len(attempts) == 1
+
+    def test_call_exhaustion_reraises(self):
+        policy = RetryPolicy(max_attempts=2, base_delay=0.0)
+        with pytest.raises(TransientError):
+            policy.call(
+                lambda: (_ for _ in ()).throw(TransientError("always")),
+                sleep=lambda _: None,
+            )
+
+    def test_on_retry_callback(self):
+        seen = []
+        policy = RetryPolicy(max_attempts=2, base_delay=0.0)
+        with pytest.raises(TransientError):
+            policy.call(
+                lambda: (_ for _ in ()).throw(TransientError("x")),
+                sleep=lambda _: None,
+                on_retry=lambda attempt, exc: seen.append(attempt),
+            )
+        assert seen == [1]
+
+
+# ----------------------------------------------------------------------
+# CheckpointManager
+# ----------------------------------------------------------------------
+class TestCheckpointManager:
+    def test_roundtrip(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        arrays = {"u": np.random.default_rng(0).normal(size=(5, 3))}
+        manager.save(4, arrays, meta={"kind": "factors", "log_scale": 1.5})
+        snapshot = manager.load(4)
+        assert snapshot.step == 4
+        assert np.array_equal(snapshot.arrays["u"], arrays["u"])
+        assert snapshot.meta == {"kind": "factors", "log_scale": 1.5}
+
+    def test_reserved_names_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="reserved"):
+            CheckpointManager(tmp_path).save(1, {"__meta_json__": np.ones(1)})
+
+    def test_missing_step_is_corrupt(self, tmp_path):
+        with pytest.raises(CorruptArtifactError):
+            CheckpointManager(tmp_path).load(7)
+
+    def test_truncated_file_is_corrupt(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        path = manager.save(1, {"u": np.ones(8)})
+        path.write_bytes(path.read_bytes()[:20])
+        with pytest.raises(CorruptArtifactError):
+            manager.load(1)
+
+    def test_flipped_byte_is_corrupt(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        path = manager.save(1, {"u": np.arange(64.0)})
+        _flip_byte(path, offset=len(path.read_bytes()) // 2)
+        with pytest.raises(CorruptArtifactError):
+            manager.load(1)
+
+    def test_latest_valid_skips_corrupt_newest(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        manager.save(1, {"u": np.ones(4)}, meta={"kind": "factors"})
+        newest = manager.save(2, {"u": np.full(4, 2.0)}, meta={"kind": "factors"})
+        newest.write_bytes(newest.read_bytes()[:30])
+        with pytest.warns(RuntimeWarning, match="corrupt checkpoint"):
+            snapshot = manager.load_latest_valid()
+        assert snapshot is not None and snapshot.step == 1
+        assert np.array_equal(snapshot.arrays["u"], np.ones(4))
+
+    def test_latest_valid_empty_directory(self, tmp_path):
+        assert CheckpointManager(tmp_path).load_latest_valid() is None
+
+    def test_prune_keeps_newest(self, tmp_path):
+        manager = CheckpointManager(tmp_path, keep=2)
+        for step in (1, 2, 3, 4):
+            manager.save(step, {"u": np.ones(2)})
+        assert manager.steps() == [3, 4]
+
+    def test_clear(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        manager.save(1, {"u": np.ones(2)})
+        manager.clear()
+        assert manager.steps() == []
+
+
+# ----------------------------------------------------------------------
+# FaultInjector
+# ----------------------------------------------------------------------
+class TestFaultInjector:
+    def test_fires_at_exact_ordinal(self):
+        injector = FaultInjector(fail_at=3)
+        injector.on_checkpoint("a")
+        injector.on_checkpoint("b")
+        with pytest.raises(InjectedFault) as info:
+            injector.on_checkpoint("c")
+        assert info.value.checkpoint_number == 3
+        assert injector.faults_fired == [(3, "c")]
+
+    def test_match_filters_labels(self):
+        injector = FaultInjector(fail_at=1, match="iteration")
+        injector.on_checkpoint("unrelated poll")
+        with pytest.raises(InjectedFault):
+            injector.on_checkpoint("GSim+ iteration 1")
+
+    def test_seeded_probability_replays(self):
+        def pattern(seed):
+            injector = FaultInjector(probability=0.3, seed=seed)
+            fired = []
+            for i in range(50):
+                try:
+                    injector.on_checkpoint(f"step {i}")
+                except InjectedFault:
+                    fired.append(i)
+            return fired
+
+        assert pattern(5) == pattern(5)
+        assert pattern(5) != pattern(6)
+
+    def test_rides_execution_context(self):
+        injector = FaultInjector(fail_at=2)
+        context = ExecutionContext(fault_injector=injector)
+        context.checkpoint("one")
+        with pytest.raises(InjectedFault):
+            context.checkpoint("two")
+        assert injector.checkpoints_seen == 2
+
+
+# ----------------------------------------------------------------------
+# Crash / resume equivalence (the acceptance criterion)
+# ----------------------------------------------------------------------
+@pytest.mark.faults
+class TestCrashResume:
+    def test_factored_resume_is_bit_identical(self, tmp_path, random_pair):
+        graph_a, graph_b = random_pair
+        iterations = 6
+        baseline = gsim_plus(graph_a, graph_b, iterations=iterations)
+
+        manager = CheckpointManager(tmp_path)
+        injector = FaultInjector(fail_at=4, match="GSim+ iteration")
+        context = ExecutionContext(fault_injector=injector)
+        with pytest.raises(InjectedFault):
+            gsim_plus(
+                graph_a, graph_b, iterations=iterations,
+                context=context, checkpoints=manager,
+            )
+        assert manager.steps(), "the killed run left no snapshots"
+        assert max(manager.steps()) < iterations
+
+        resumed = gsim_plus(
+            graph_a, graph_b, iterations=iterations,
+            checkpoints=manager, resume_from=manager,
+        )
+        assert np.array_equal(resumed.similarity, baseline.similarity)
+        assert resumed.z_frobenius_log == baseline.z_frobenius_log
+
+    def test_dense_fallback_resume_is_bit_identical(self, tmp_path, tiny_pair):
+        graph_a, graph_b = tiny_pair
+        iterations = 7  # widths double past min(n_A, n_B): dense regime
+        baseline = gsim_plus(graph_a, graph_b, iterations=iterations)
+        assert baseline.used_dense_fallback
+
+        manager = CheckpointManager(tmp_path)
+        injector = FaultInjector(fail_at=6, match="GSim+ iteration")
+        context = ExecutionContext(fault_injector=injector)
+        with pytest.raises(InjectedFault):
+            gsim_plus(
+                graph_a, graph_b, iterations=iterations,
+                context=context, checkpoints=manager,
+            )
+
+        resumed = gsim_plus(
+            graph_a, graph_b, iterations=iterations,
+            checkpoints=manager, resume_from=manager,
+        )
+        assert np.array_equal(resumed.similarity, baseline.similarity)
+        assert resumed.z_frobenius_log == baseline.z_frobenius_log
+
+    def test_resume_falls_back_past_corrupt_snapshot(self, tmp_path, random_pair):
+        graph_a, graph_b = random_pair
+        iterations = 5
+        baseline = gsim_plus(graph_a, graph_b, iterations=iterations)
+        manager = CheckpointManager(tmp_path, keep=10)
+        injector = FaultInjector(fail_at=4, match="GSim+ iteration")
+        with pytest.raises(InjectedFault):
+            gsim_plus(
+                graph_a, graph_b, iterations=iterations,
+                context=ExecutionContext(fault_injector=injector),
+                checkpoints=manager,
+            )
+        newest = manager.path_for(max(manager.steps()))
+        _flip_byte(newest, offset=len(newest.read_bytes()) // 2)
+        with pytest.warns(RuntimeWarning, match="corrupt checkpoint"):
+            resumed = gsim_plus(
+                graph_a, graph_b, iterations=iterations, resume_from=manager
+            )
+        assert np.array_equal(resumed.similarity, baseline.similarity)
+
+    def test_resume_records_metrics(self, tmp_path, random_pair):
+        graph_a, graph_b = random_pair
+        manager = CheckpointManager(tmp_path)
+        gsim_plus(graph_a, graph_b, iterations=3, checkpoints=manager)
+        metrics = Metrics()
+        gsim_plus(
+            graph_a, graph_b, iterations=5,
+            context=ExecutionContext(metrics=metrics),
+            resume_from=manager,
+        )
+        tree = metrics.snapshot()
+        assert tree["counters"]["gsim_plus.resumed"] == 1
+
+    def test_fingerprint_mismatch_refuses_resume(self, tmp_path, random_pair):
+        graph_a, graph_b = random_pair
+        manager = CheckpointManager(tmp_path)
+        gsim_plus(graph_a, graph_b, iterations=3, checkpoints=manager)
+        other = Graph.from_edges(3, [(0, 1), (1, 2)], name="other")
+        with pytest.raises(ValueError, match="does not match this solver"):
+            gsim_plus(graph_a, other, iterations=3, resume_from=manager)
+
+    def test_index_build_resumes(self, tmp_path, random_pair):
+        graph_a, graph_b = random_pair
+        baseline = GSimIndex.build(graph_a, graph_b, iterations=5)
+        manager = CheckpointManager(tmp_path)
+        injector = FaultInjector(fail_at=3, match="GSim+ iteration")
+        with pytest.raises(InjectedFault):
+            GSimIndex.build(
+                graph_a, graph_b, iterations=5,
+                context=ExecutionContext(fault_injector=injector),
+                checkpoints=manager,
+            )
+        resumed = GSimIndex.build(
+            graph_a, graph_b, iterations=5, resume_from=manager
+        )
+        queries = ([0, 1, 2], [0, 1])
+        assert np.array_equal(resumed.query(*queries), baseline.query(*queries))
+
+
+# ----------------------------------------------------------------------
+# Numeric-health guard
+# ----------------------------------------------------------------------
+class TestNumericGuard:
+    @staticmethod
+    def _explosive_pair():
+        # 1e308-weighted edges overflow float64 within one product.
+        edges_a = [(0, 1, 1e308), (1, 2, 1e308), (2, 0, 1e308)]
+        edges_b = [(0, 1, 1e308), (1, 0, 1e308)]
+        return (
+            Graph.from_edges(3, edges_a, name="hot_a"),
+            Graph.from_edges(2, edges_b, name="hot_b"),
+        )
+
+    def test_guard_keeps_iterates_finite(self):
+        graph_a, graph_b = self._explosive_pair()
+        metrics = Metrics()
+        result = gsim_plus(
+            graph_a, graph_b, iterations=4,
+            context=ExecutionContext(metrics=metrics),
+        )
+        assert np.isfinite(result.similarity).all()
+        counters = metrics.snapshot()["counters"]
+        repaired = counters.get("gsim_plus.nonfinite_repairs", 0)
+        rescued = counters.get("gsim_plus.norm_rescales", 0)
+        assert repaired + rescued > 0
+
+    @pytest.mark.filterwarnings("ignore::RuntimeWarning")
+    def test_guard_can_be_disabled(self):
+        graph_a, graph_b = self._explosive_pair()
+        solver = GSimPlus(graph_a, graph_b, numeric_guard=False)
+        try:
+            result = solver.run(4)
+            assert not np.isfinite(result.similarity).all()
+        except (ZeroDivisionError, FloatingPointError):
+            pass  # unguarded overflow may also collapse the iterate
+
+
+# ----------------------------------------------------------------------
+# Corrupt artifacts: factors + index files
+# ----------------------------------------------------------------------
+class TestArtifactCorruption:
+    @staticmethod
+    def _factors():
+        rng = np.random.default_rng(3)
+        return LowRankFactors(
+            rng.normal(size=(6, 4)), rng.normal(size=(5, 4)), log_scale=2.5
+        )
+
+    def test_factor_roundtrip(self, tmp_path):
+        path = tmp_path / "factors.npz"
+        factors = self._factors()
+        save_factors(factors, path)
+        loaded = load_factors(path)
+        assert np.array_equal(loaded.u, factors.u)
+        assert np.array_equal(loaded.v, factors.v)
+        assert loaded.log_scale == factors.log_scale
+
+    def test_truncated_factor_file(self, tmp_path):
+        path = tmp_path / "factors.npz"
+        save_factors(self._factors(), path)
+        path.write_bytes(path.read_bytes()[:25])
+        with pytest.raises(CorruptArtifactError, match="rebuild"):
+            load_factors(path)
+
+    def test_flipped_byte_in_factor_file(self, tmp_path):
+        path = tmp_path / "factors.npz"
+        save_factors(self._factors(), path)
+        _flip_byte(path, offset=len(path.read_bytes()) // 2)
+        with pytest.raises(CorruptArtifactError):
+            load_factors(path)
+
+    def test_missing_factor_file_is_not_corrupt(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_factors(tmp_path / "absent.npz")
+
+    def test_index_roundtrip_and_corruption(self, tmp_path, random_pair):
+        graph_a, graph_b = random_pair
+        index = GSimIndex.build(graph_a, graph_b, iterations=4)
+        path = tmp_path / "index.npz"
+        index.save(path)
+        loaded = GSimIndex.load(path)
+        queries = ([0, 1], [0, 1, 2])
+        assert np.array_equal(loaded.query(*queries), index.query(*queries))
+
+        _flip_byte(path, offset=len(path.read_bytes()) // 2)
+        with pytest.raises(CorruptArtifactError, match="rebuild"):
+            GSimIndex.load(path)
+
+    def test_truncated_index_file(self, tmp_path, random_pair):
+        graph_a, graph_b = random_pair
+        index = GSimIndex.build(graph_a, graph_b, iterations=3)
+        path = tmp_path / "index.npz"
+        index.save(path)
+        path.write_bytes(path.read_bytes()[:40])
+        with pytest.raises(CorruptArtifactError):
+            GSimIndex.load(path)
+
+
+# ----------------------------------------------------------------------
+# Run journal + resumable sweeps
+# ----------------------------------------------------------------------
+def _counting_spec(counter):
+    """A fast fake algorithm that counts real executions."""
+
+    def run(graph_a, graph_b, queries_a, queries_b, iterations, context=None):
+        counter.append(1)
+        return np.zeros((len(queries_a), len(queries_b)))
+
+    return AlgorithmSpec(
+        name="GSim+", run=run, cost_model="gsim+", units_per_second=1e8
+    )
+
+
+class TestRunJournal:
+    @staticmethod
+    def _pair():
+        a = Graph.from_edges(6, [(i, (i + 1) % 6) for i in range(6)], name="a")
+        b = Graph.from_edges(4, [(i, (i + 1) % 4) for i in range(4)], name="b")
+        return a, b, np.arange(3), np.arange(2)
+
+    def test_roundtrip_and_replay(self, tmp_path):
+        a, b, qa, qb = self._pair()
+        path = tmp_path / "journal.jsonl"
+        executions: list[int] = []
+        spec = _counting_spec(executions)
+
+        journal = RunJournal(path)
+        first = run_algorithm(spec, a, b, qa, qb, 3, journal=journal)
+        assert first.ok and len(executions) == 1
+
+        resumed = RunJournal(path, resume=True)
+        assert len(resumed) == 1
+        replayed = run_algorithm(spec, a, b, qa, qb, 3, journal=resumed)
+        assert len(executions) == 1, "journalled cell must not re-execute"
+        assert resumed.hits == 1
+        assert replayed.to_dict() == first.to_dict()
+
+    def test_only_missing_cells_execute(self, tmp_path):
+        a, b, qa, qb = self._pair()
+        path = tmp_path / "journal.jsonl"
+        executions: list[int] = []
+        spec = _counting_spec(executions)
+
+        journal = RunJournal(path)
+        run_algorithm(spec, a, b, qa, qb, 3, journal=journal)  # cell k=3
+        # Interrupted here: cell k=4 never ran.  Resume the sweep.
+        resumed = RunJournal(path, resume=True)
+        for iterations in (3, 4):
+            run_algorithm(spec, a, b, qa, qb, iterations, journal=resumed)
+        assert len(executions) == 2, "resume must execute only the missing cell"
+        assert resumed.hits == 1
+        assert len(resumed) == 2
+
+    def test_fresh_run_truncates(self, tmp_path):
+        a, b, qa, qb = self._pair()
+        path = tmp_path / "journal.jsonl"
+        executions: list[int] = []
+        spec = _counting_spec(executions)
+        run_algorithm(spec, a, b, qa, qb, 3, journal=RunJournal(path))
+        fresh = RunJournal(path, resume=False)
+        assert len(fresh) == 0
+        run_algorithm(spec, a, b, qa, qb, 3, journal=fresh)
+        assert len(executions) == 2
+
+    def test_torn_line_skipped_with_warning(self, tmp_path):
+        a, b, qa, qb = self._pair()
+        path = tmp_path / "journal.jsonl"
+        executions: list[int] = []
+        spec = _counting_spec(executions)
+        journal = RunJournal(path)
+        run_algorithm(spec, a, b, qa, qb, 3, journal=journal)
+        run_algorithm(spec, a, b, qa, qb, 4, journal=journal)
+        # Tear the final line, as a kill mid-append would.
+        torn = path.read_text(encoding="utf-8").rstrip("\n")[:-30]
+        path.write_text(torn + "\n", encoding="utf-8")
+        with pytest.warns(RuntimeWarning, match="corrupt journal line"):
+            resumed = RunJournal(path, resume=True)
+        assert len(resumed) == 1
+        assert resumed.skipped_lines == 1
+
+    def test_cell_key_distinguishes_axes(self):
+        a, b, qa, qb = self._pair()
+        params = {"n_a": 6, "n_b": 4, "k": 3}
+        assert cell_key("GSim+", "EE", params) != cell_key(
+            "GSim+", "EE", {**params, "k": 4}
+        )
+        assert cell_key("GSim+", "EE", params) != cell_key("GSim", "EE", params)
+
+
+@pytest.mark.faults
+class TestRetryAndQuarantine:
+    @staticmethod
+    def _pair():
+        a = Graph.from_edges(6, [(i, (i + 1) % 6) for i in range(6)], name="a")
+        b = Graph.from_edges(4, [(i, (i + 1) % 4) for i in range(4)], name="b")
+        return a, b, np.arange(3), np.arange(2)
+
+    def test_transient_failure_retried_to_success(self):
+        a, b, qa, qb = self._pair()
+        calls: list[int] = []
+
+        def flaky(graph_a, graph_b, queries_a, queries_b, iterations, context=None):
+            calls.append(1)
+            if len(calls) < 2:
+                raise TransientError("transient hiccup")
+            return np.zeros((len(queries_a), len(queries_b)))
+
+        spec = AlgorithmSpec(
+            name="GSim+", run=flaky, cost_model="gsim+", units_per_second=1e8
+        )
+        record = run_algorithm(
+            spec, a, b, qa, qb, 3,
+            retry_policy=RetryPolicy(max_attempts=3, base_delay=0.0),
+        )
+        assert record.ok
+        assert record.attempts == 2
+        assert len(calls) == 2
+
+    def test_persistent_failure_quarantined(self):
+        a, b, qa, qb = self._pair()
+        calls: list[int] = []
+
+        def broken(graph_a, graph_b, queries_a, queries_b, iterations, context=None):
+            calls.append(1)
+            raise TransientError("always down")
+
+        spec = AlgorithmSpec(
+            name="GSim+", run=broken, cost_model="gsim+", units_per_second=1e8
+        )
+        record = run_algorithm(
+            spec, a, b, qa, qb, 3,
+            retry_policy=RetryPolicy(max_attempts=2, base_delay=0.0),
+        )
+        assert record.outcome is Outcome.ERROR
+        assert record.attempts == 2
+        assert "quarantined after 2 attempts" in record.note
+        assert len(calls) == 2
+
+    def test_fatal_failure_raises_through(self):
+        a, b, qa, qb = self._pair()
+
+        def broken(graph_a, graph_b, queries_a, queries_b, iterations, context=None):
+            raise KeyError("programming error")
+
+        spec = AlgorithmSpec(
+            name="GSim+", run=broken, cost_model="gsim+", units_per_second=1e8
+        )
+        with pytest.raises(KeyError):
+            run_algorithm(
+                spec, a, b, qa, qb, 3,
+                retry_policy=RetryPolicy(max_attempts=3, base_delay=0.0),
+            )
+
+    def test_quarantine_is_journalled(self, tmp_path):
+        a, b, qa, qb = self._pair()
+
+        def broken(graph_a, graph_b, queries_a, queries_b, iterations, context=None):
+            raise TransientError("always down")
+
+        spec = AlgorithmSpec(
+            name="GSim+", run=broken, cost_model="gsim+", units_per_second=1e8
+        )
+        path = tmp_path / "journal.jsonl"
+        run_algorithm(
+            spec, a, b, qa, qb, 3,
+            retry_policy=RetryPolicy(max_attempts=2, base_delay=0.0),
+            journal=RunJournal(path),
+        )
+        resumed = RunJournal(path, resume=True)
+        assert len(resumed) == 1
+        record = resumed.get(resumed.keys[0])
+        assert record is not None and record.outcome is Outcome.ERROR
+
+
+# ----------------------------------------------------------------------
+# CLI integration
+# ----------------------------------------------------------------------
+class TestResilienceCLI:
+    def test_resume_requires_checkpoint_dir(self, capsys):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as info:
+            main(["fig3", "--scale", "tiny", "--resume"])
+        assert info.value.code == 2
+        assert "--resume requires --checkpoint-dir" in capsys.readouterr().err
+
+    @pytest.mark.faults
+    def test_interrupted_sweep_resumes_without_rerunning(self, tmp_path, capsys):
+        from repro.cli import main
+
+        argv = [
+            "fig3", "--scale", "tiny", "--algorithms", "GSim+",
+            "--checkpoint-dir", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "0/5 cells replayed" in first
+        assert main(argv + ["--resume"]) == 0
+        second = capsys.readouterr().out
+        assert "5/5 cells replayed" in second
