@@ -2,7 +2,11 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast bench figures accuracy examples all-checks
+.PHONY: install test test-fast bench bench-all figures accuracy examples all-checks
+
+# Pin BLAS thread pools so benchmark numbers isolate the worker-pool
+# sharding from library-internal threading (see docs/usage.md).
+BENCH_ENV = OMP_NUM_THREADS=1 OPENBLAS_NUM_THREADS=1 MKL_NUM_THREADS=1 PYTHONPATH=src
 
 install:
 	$(PYTHON) -m pip install -e '.[dev]'
@@ -14,6 +18,13 @@ test-fast:
 	$(PYTHON) -m pytest tests/ -m 'not slow'
 
 bench:
+	$(BENCH_ENV) $(PYTHON) -m pytest \
+		benchmarks/test_core_kernels.py \
+		benchmarks/test_topk_retrieval.py \
+		benchmarks/test_parallel_scan.py \
+		--benchmark-only --benchmark-json=BENCH_core.json
+
+bench-all:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 figures:

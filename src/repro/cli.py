@@ -129,11 +129,23 @@ def _build_parser() -> argparse.ArgumentParser:
             help="write the run's counter/timer tree as JSON to this path",
         )
 
+    def _add_workers(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--workers",
+            type=int,
+            default=1,
+            metavar="N",
+            help="worker threads for sharded kernels and independent "
+            "sweep cells (default: 1 — fully serial; results are "
+            "identical for every N)",
+        )
+
     for name, (_, _, _, description) in _FIGURES.items():
         sub = subparsers.add_parser(name, help=f"Figure {name[3:]}: {description}")
         _add_common(sub)
         _add_metrics(sub)
         _add_resilience(sub)
+        _add_workers(sub)
         if name in ("fig3", "fig4", "fig5", "fig7", "fig8"):
             sub.add_argument("--dataset", default="EE", help="dataset key")
 
@@ -155,12 +167,14 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_common(everything)
     _add_metrics(everything)
     _add_resilience(everything)
+    _add_workers(everything)
 
     topk = subparsers.add_parser(
         "topk", help="retrieve the k most similar cross-graph pairs"
     )
     _add_common(topk)
     _add_metrics(topk)
+    _add_workers(topk)
     topk.add_argument("--dataset", default="HP", help="dataset key")
     topk.add_argument("--top", type=int, default=10, help="number of pairs")
 
@@ -202,6 +216,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_metrics(sim)
     _add_resilience(sim)
+    _add_workers(sim)
 
     spec = subparsers.add_parser(
         "spec", help="run a declarative experiment from a JSON spec file"
@@ -216,6 +231,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--export-csv", default=None, help="also write the records to this CSV"
     )
     _add_resilience(spec)
+    _add_workers(spec)
     return parser
 
 
@@ -257,6 +273,7 @@ def _run_figure(
         deadline=Deadline(limit_seconds=args.deadline),
         journal=journal,
         retry_policy=retry_policy,
+        max_workers=getattr(args, "workers", 1),
     )
     if args.iterations is None:
         config = ExperimentConfig.for_scale(args.scale, seed=args.seed, **guards)
@@ -360,7 +377,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             iterations = ExperimentConfig.for_scale(args.scale).iterations
         context = ExecutionContext()
         pairs = top_k_pairs(
-            graph_a, graph_b, args.top, iterations=iterations, context=context
+            graph_a, graph_b, args.top, iterations=iterations, context=context,
+            max_workers=args.workers,
         )
         print(f"top-{args.top} pairs on {graph_a.name} (K={iterations}):")
         for pair in pairs:
@@ -406,7 +424,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             def _top_pairs():
                 return top_k_pairs(
                     graph_a, graph_b, args.top, iterations=args.iterations,
-                    context=context,
+                    context=context, max_workers=args.workers,
                 )
 
             if retry_policy is not None:
@@ -435,6 +453,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                 context=context,
                 checkpoints=checkpoints,
                 resume_from=resume_from,
+                max_workers=args.workers,
             )
 
         resume_from = {"manager": checkpoints if args.resume else None}
@@ -467,7 +486,10 @@ def main(argv: Sequence[str] | None = None) -> int:
 
         journal, retry_policy = _resilience(args, "spec")
         spec = ExperimentSpec.from_json(args.spec_path)
-        records = run_spec(spec, journal=journal, retry_policy=retry_policy)
+        records = run_spec(
+            spec, journal=journal, retry_policy=retry_policy,
+            max_workers=args.workers,
+        )
         if journal is not None:
             print(
                 f"[{journal.hits}/{len(records)} cells replayed from "

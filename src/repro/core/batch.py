@@ -21,13 +21,13 @@ so the thread-pool path aggregates counters without losing increments.
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
 from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
 from repro.core.embeddings import LowRankFactors
 from repro.runtime import ExecutionContext
+from repro.runtime.parallel import WorkerPool
 from repro.utils.validation import check_positive_integer
 
 __all__ = ["BatchQueryEngine"]
@@ -71,6 +71,11 @@ class BatchQueryEngine:
         """Shape of the represented similarity matrix."""
         return self._factors.shape
 
+    @property
+    def global_norm(self) -> float:
+        """``||Z||_F`` of the represented (unnormalised) similarity."""
+        return self._global_norm
+
     def query(
         self,
         queries_a: np.ndarray | Sequence[int],
@@ -95,25 +100,28 @@ class BatchQueryEngine:
     def query_many(
         self,
         requests: Iterable[tuple[Sequence[int], Sequence[int]]],
-        max_workers: int | None = None,
+        max_workers: "WorkerPool | int | None" = None,
         context: ExecutionContext | None = None,
     ) -> list[np.ndarray]:
-        """Answer many blocks; ``max_workers > 1`` uses a thread pool.
+        """Answer many blocks; ``max_workers > 1`` uses a worker pool.
 
-        Results come back in request order regardless of worker count.
-        Each block is a checkpoint of ``context``; with a thread pool the
-        workers share the same lock-protected metrics sink, so counter
-        increments are never lost to races.
+        Results come back in request order regardless of worker count, and
+        each block's scores are worker-count independent (blocks are
+        computed whole, never split).  Each block is a checkpoint of
+        ``context``; with a thread pool the workers share the same
+        lock-protected metrics sink, so counter increments are never lost
+        to races.
         """
         request_list = list(requests)
-        if max_workers is None or max_workers <= 1:
-            return [self.query(qa, qb, context=context) for qa, qb in request_list]
-        with ThreadPoolExecutor(max_workers=max_workers) as pool:
-            futures = [
-                pool.submit(self.query, qa, qb, context)
-                for qa, qb in request_list
-            ]
-            return [future.result() for future in futures]
+        if isinstance(max_workers, int) and max_workers < 1:
+            max_workers = 1  # historical "0 means serial" tolerance
+        pool = WorkerPool.resolve(max_workers)
+        return pool.map(
+            lambda request: self.query(request[0], request[1], context=context),
+            request_list,
+            context=context,
+            what="batch query blocks",
+        )
 
     def stream_rows(
         self,

@@ -64,6 +64,7 @@ import scipy.sparse as sp
 from repro.core.embeddings import LowRankFactors
 from repro.graphs.graph import Graph
 from repro.runtime import ExecutionContext
+from repro.runtime.parallel import WorkerPool, shard_rows_by_nnz
 from repro.runtime.resilience import Checkpoint, CheckpointManager
 from repro.utils.memory import dense_matrix_bytes
 from repro.utils.validation import check_nonnegative_integer, resolve_node_index
@@ -155,6 +156,14 @@ class GSimPlus:
         largest finite magnitude in the same factor — and the event is
         counted in ``gsim_plus.nonfinite_repairs`` instead of the NaN
         poisoning every subsequent iterate.
+    max_workers:
+        Worker count (or a :class:`repro.runtime.WorkerPool`) for the
+        row-sharded SpMM steps.  The default ``None`` means serial; with
+        ``w > 1`` workers each iteration splits the output rows into
+        nnz-balanced contiguous shards computed concurrently and written
+        into one preallocated output.  Row sharding never reorders any
+        per-row accumulation, so results are **bit-identical** to the
+        serial path for every worker count.
 
     Examples
     --------
@@ -175,6 +184,7 @@ class GSimPlus:
         normalization: str = "block",
         initial_factors: tuple[np.ndarray, np.ndarray] | None = None,
         numeric_guard: bool = True,
+        max_workers: "WorkerPool | int | None" = None,
     ) -> None:
         if rank_cap not in _RANK_CAP_MODES:
             raise ValueError(
@@ -186,6 +196,10 @@ class GSimPlus:
             )
         if graph_a.num_nodes == 0 or graph_b.num_nodes == 0:
             raise ValueError("both graphs must have at least one node")
+        # The four CSR operands of every step are converted exactly once
+        # here (``Graph`` caches the transpose, so repeated solvers over
+        # the same graph share it); ``gsim_plus.transpose_cache_hits``
+        # counts each step's reuse of the pre-converted A^T/B^T.
         self._a: sp.csr_matrix = graph_a.adjacency
         self._a_t: sp.csr_matrix = graph_a.adjacency_t
         self._b: sp.csr_matrix = graph_b.adjacency
@@ -195,6 +209,13 @@ class GSimPlus:
         self.rank_cap = rank_cap
         self.normalization = normalization
         self.numeric_guard = numeric_guard
+        self._pool = WorkerPool.resolve(max_workers)
+        # name -> list[(start, stop, csr row slice)], built on first
+        # parallel step and reused every iteration thereafter.
+        self._shard_cache: dict[str, list[tuple[int, int, sp.csr_matrix]]] = {}
+        self._dense_shards: (
+            list[tuple[int, int, sp.csr_matrix, sp.csr_matrix]] | None
+        ) = None
         self._initial = self._resolve_initial(initial_factors)
 
     def _resolve_initial(
@@ -261,12 +282,84 @@ class GSimPlus:
             context.metrics.increment("gsim_plus.nonfinite_repairs", repaired)
         return array
 
+    def _shards(self, name: str) -> list[tuple[int, int, sp.csr_matrix]]:
+        """Cached nnz-balanced row shards of one CSR operand.
+
+        Slicing a CSR by rows copies the slice, so the cuts are made once
+        per solver (not once per iteration) and reused by every step.
+        """
+        cached = self._shard_cache.get(name)
+        if cached is not None:
+            return cached
+        matrix = {"a": self._a, "a_t": self._a_t, "b": self._b, "b_t": self._b_t}[name]
+        shards = [
+            (start, stop, matrix[start:stop])
+            for start, stop in shard_rows_by_nnz(
+                matrix.indptr, self._pool.max_workers
+            )
+        ]
+        self._shard_cache[name] = shards
+        return shards
+
+    def _count_shard_cache(self, context: ExecutionContext | None, names: int) -> None:
+        if context is not None:
+            context.metrics.increment("gsim_plus.shard_cache_hits", names)
+
+    def _spmm_pair_into(
+        self,
+        name: str,
+        name_t: str,
+        matrix: sp.csr_matrix,
+        matrix_t: sp.csr_matrix,
+        dense: np.ndarray,
+        out: np.ndarray,
+        context: ExecutionContext | None,
+    ) -> None:
+        """``out = [M @ dense | M^T @ dense]`` written into a preallocated
+        output — serial in one thread, or row-sharded across the pool.
+
+        Each output row is a fixed-order accumulation over one CSR row
+        regardless of sharding, so the parallel result is bit-identical
+        to the serial one.
+        """
+        width = dense.shape[1]
+        if self._pool.serial:
+            out[:, :width] = matrix @ dense
+            out[:, width:] = matrix_t @ dense
+            return
+        tasks: list[tuple[int, int, sp.csr_matrix, int]] = []
+        for start, stop, shard in self._shards(name):
+            tasks.append((start, stop, shard, 0))
+        for start, stop, shard in self._shards(name_t):
+            tasks.append((start, stop, shard, width))
+        self._count_shard_cache(context, 2)
+
+        def _run(task: tuple[int, int, sp.csr_matrix, int]) -> None:
+            start, stop, shard, offset = task
+            out[start:stop, offset : offset + width] = shard @ dense
+
+        self._pool.map(_run, tasks, context=context, what="GSim+ SpMM shards")
+
     def _step_factors(
         self, factors: LowRankFactors, context: ExecutionContext | None = None
     ) -> LowRankFactors:
-        """One Eq.(8)/(9) doubling step in factored form (lines 3-5)."""
-        new_u = np.hstack([self._a @ factors.u, self._a_t @ factors.u])
-        new_v = np.hstack([self._b @ factors.v, self._b_t @ factors.v])
+        """One Eq.(8)/(9) doubling step in factored form (lines 3-5).
+
+        The doubled factors are written straight into one preallocated
+        ``(n, 2w)`` output (no ``np.hstack`` re-copy), row-sharded across
+        the worker pool when one is configured.
+        """
+        width = factors.width
+        new_u = np.empty((self.n_a, 2 * width))
+        new_v = np.empty((self.n_b, 2 * width))
+        self._spmm_pair_into(
+            "a", "a_t", self._a, self._a_t, factors.u, new_u, context
+        )
+        self._spmm_pair_into(
+            "b", "b_t", self._b, self._b_t, factors.v, new_v, context
+        )
+        if context is not None:
+            context.metrics.increment("gsim_plus.transpose_cache_hits", 2)
         if self.numeric_guard:
             new_u = self._healed(new_u, context)
             new_v = self._healed(new_v, context)
@@ -285,7 +378,12 @@ class GSimPlus:
         """
         # A Z B^T + A^T Z B, staying in sparse-times-dense kernels:
         # Z B^T = (B Z^T)^T and Z B = (B^T Z^T)^T.
-        updated = self._a @ (self._b @ z.T).T + self._a_t @ (self._b_t @ z.T).T
+        if self._pool.serial:
+            updated = self._a @ (self._b @ z.T).T + self._a_t @ (self._b_t @ z.T).T
+        else:
+            updated = self._step_dense_sharded(z, context)
+        if context is not None:
+            context.metrics.increment("gsim_plus.transpose_cache_hits", 2)
         if self.numeric_guard:
             updated = self._healed(updated, context)
         with np.errstate(over="ignore"):
@@ -306,6 +404,73 @@ class GSimPlus:
                 "similarity iterate collapsed to zero (disconnected inputs?)"
             )
         return updated / norm, float(np.log(norm)) + log_shift
+
+    def _step_dense_sharded(
+        self, z: np.ndarray, context: ExecutionContext | None
+    ) -> np.ndarray:
+        """``A Z B^T + A^T Z B`` with both SpMM stages row-sharded.
+
+        Stage 1 computes ``P = Z B^T`` and ``Q = Z B`` by sharding the
+        rows of ``B``/``B^T`` and writing each transposed shard product
+        into a column slice, producing C-contiguous operands for stage 2
+        (the serial path pays a hidden full-copy conversion inside scipy
+        for each F-ordered transpose instead).  Stage 2 shards the output
+        rows over ``A``/``A^T`` jointly.  Every output row is the same
+        fixed-order accumulation as the serial expression, so the result
+        is bit-identical for any worker count.
+        """
+        z_t = np.ascontiguousarray(z.T)
+        p = np.empty((self.n_a, self.n_b))
+        q = np.empty((self.n_a, self.n_b))
+        stage1: list[tuple[np.ndarray, int, int, sp.csr_matrix]] = []
+        for start, stop, shard in self._shards("b"):
+            stage1.append((p, start, stop, shard))
+        for start, stop, shard in self._shards("b_t"):
+            stage1.append((q, start, stop, shard))
+        self._count_shard_cache(context, 2)
+
+        def _run_stage1(task: tuple[np.ndarray, int, int, sp.csr_matrix]) -> None:
+            out, start, stop, shard = task
+            out[:, start:stop] = (shard @ z_t).T
+
+        self._pool.map(
+            _run_stage1, stage1, context=context, what="GSim+ dense stage 1"
+        )
+
+        updated = np.empty((self.n_a, self.n_b))
+        pairs = self._dense_pair_shards()
+        self._count_shard_cache(context, 1)
+
+        def _run_stage2(
+            task: tuple[int, int, sp.csr_matrix, sp.csr_matrix],
+        ) -> None:
+            start, stop, a_shard, a_t_shard = task
+            updated[start:stop] = a_shard @ p + a_t_shard @ q
+
+        self._pool.map(
+            _run_stage2, pairs, context=context, what="GSim+ dense stage 2"
+        )
+        return updated
+
+    def _dense_pair_shards(
+        self,
+    ) -> list[tuple[int, int, sp.csr_matrix, sp.csr_matrix]]:
+        """Row ranges shared by ``A`` and ``A^T`` for the dense stage-2 sum,
+        balanced by the pair's combined nnz and cached across iterations."""
+        cached = self._dense_shards
+        if cached is not None:
+            return cached
+        combined_indptr = np.asarray(self._a.indptr, dtype=np.int64) + np.asarray(
+            self._a_t.indptr, dtype=np.int64
+        )
+        shards = [
+            (start, stop, self._a[start:stop], self._a_t[start:stop])
+            for start, stop in shard_rows_by_nnz(
+                combined_indptr, self._pool.max_workers
+            )
+        ]
+        self._dense_shards = shards
+        return shards
 
     def iterate(
         self,
@@ -636,6 +801,7 @@ def gsim_plus(
     checkpoints: CheckpointManager | str | Path | None = None,
     checkpoint_every: int = 1,
     resume_from: CheckpointManager | str | Path | None = None,
+    max_workers: "WorkerPool | int | None" = None,
 ) -> GSimPlusResult:
     """Functional wrapper over :class:`GSimPlus` (Algorithm 1).
 
@@ -660,6 +826,7 @@ def gsim_plus(
         rank_cap=rank_cap,
         normalization=normalization,
         initial_factors=initial_factors,
+        max_workers=max_workers,
     )
     return solver.run(
         iterations,

@@ -4,20 +4,33 @@ The paper's title speaks of *retrieval*: applications rarely want the full
 ``n_A x n_B`` matrix — they want the most similar pairs.  With GSim+'s
 factors that can be answered without materialising the matrix: the
 candidate rows are scanned in blocks of bounded size, keeping a running
-k-best heap, so memory stays ``O(block_rows * n_B + k)`` no matter how
-large ``n_A`` grows.
+k-best candidate set, so memory stays ``O(block_rows * n_B + k)`` no
+matter how large ``n_A`` grows.
 
-Two entry points:
+Selection inside a block is vectorised: ``np.argpartition`` finds the
+k-th score in linear time, every entry tied with it is kept, and only the
+surviving candidates are sorted — ``O(rows * n_B + k log k)`` per block
+instead of the full ``O(rows * n_B log(rows * n_B))`` sort.
+
+Ordering is canonical everywhere: score descending, then lowest
+``node_a``, then lowest ``node_b``.  Because candidate merges select by
+that total order over values (not by arrival order), the result is
+independent of block size and of worker count — the parallel scan splits
+rows into contiguous per-worker ranges, each keeps a local k-best set,
+and the final merge re-selects the global top k deterministically.
+
+Entry points:
 
 * :func:`top_k_pairs` — globally best ``(a, b, score)`` triples.
 * :func:`top_k_for_queries` — per-query-node ranking (the "find the most
   similar nodes in the other graph" primitive of the synonym-extraction
   and community-matching applications).
+* :func:`scan_top_pairs` — the scan engine over prebuilt factors, shared
+  with :class:`repro.retrieval.GSimIndex`.
 """
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass
 
 import numpy as np
@@ -26,9 +39,11 @@ from repro.core.embeddings import LowRankFactors
 from repro.core.gsim_plus import GSimPlus
 from repro.graphs.graph import Graph
 from repro.runtime import ExecutionContext
+from repro.runtime.parallel import WorkerPool, shard_ranges
+from repro.utils.memory import dense_matrix_bytes
 from repro.utils.validation import check_positive_integer, resolve_node_index
 
-__all__ = ["ScoredPair", "top_k_for_queries", "top_k_pairs"]
+__all__ = ["ScoredPair", "scan_top_pairs", "top_k_for_queries", "top_k_pairs"]
 
 
 @dataclass(frozen=True)
@@ -45,18 +60,157 @@ def _factors_for(
     graph_b: Graph,
     iterations: int,
     context: ExecutionContext | None = None,
+    max_workers: "WorkerPool | int | None" = None,
 ) -> LowRankFactors:
     """Run GSim+ and return the final factors (factored regime enforced).
 
     Uses the QR-compressed cap so the representation stays factored even
     past ``2^k >= min(n_A, n_B)`` — the scan below needs U/V, not a dense Z.
     """
-    solver = GSimPlus(graph_a, graph_b, rank_cap="qr-compress")
+    solver = GSimPlus(
+        graph_a, graph_b, rank_cap="qr-compress", max_workers=max_workers
+    )
     state = None
     for state in solver.iterate(iterations, context=context):
         pass
     assert state is not None and state.factors is not None
     return state.factors
+
+
+def _canonical_top_k(
+    scores: np.ndarray, rows: np.ndarray, cols: np.ndarray, k: int
+) -> np.ndarray:
+    """Indices of the ``k`` best candidates by ``(-score, row, col)``."""
+    return np.lexsort((cols, rows, -scores))[:k]
+
+
+def _row_top_k(row: np.ndarray, k: int) -> np.ndarray:
+    """Columns of the ``k`` largest entries, ties broken by lowest column.
+
+    Matches ``np.argsort(-row, kind="stable")[:k]`` exactly, but only the
+    (at most ``k + ties``) surviving candidates are sorted.
+    """
+    n = row.size
+    if k >= n:
+        candidates = np.arange(n)
+    else:
+        kth = row[np.argpartition(-row, k - 1)[k - 1]]
+        candidates = np.flatnonzero(row >= kth)
+    return candidates[np.lexsort((candidates, -row[candidates]))[:k]]
+
+
+def _scan_range(
+    u: np.ndarray,
+    v_t: np.ndarray,
+    start: int,
+    stop: int,
+    k: int,
+    block_rows: int,
+    context: ExecutionContext | None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Scan rows ``[start, stop)`` in bounded blocks; return the range's
+    k-best candidates as ``(scores, rows, cols)`` arrays.
+
+    The running candidate set is exact under truncation: rows are scanned
+    in ascending order, so an entry tying the current k-th score always
+    loses the ``(row, col)`` tie-break to every retained entry and can be
+    dropped; anything below the k-th score is dominated forever.
+    """
+    n_b = v_t.shape[1]
+    best_scores = np.empty(0, dtype=np.float64)
+    best_rows = np.empty(0, dtype=np.int64)
+    best_cols = np.empty(0, dtype=np.int64)
+    threshold = -np.inf
+    for block_start in range(start, stop, block_rows):
+        block_stop = min(block_start + block_rows, stop)
+        block_bytes = dense_matrix_bytes(block_stop - block_start, n_b)
+        if context is not None:
+            context.checkpoint(f"top_k_pairs scan at row {block_start}")
+            context.metrics.increment("topk.blocks_scanned")
+            context.metrics.increment(
+                "topk.rows_scanned", block_stop - block_start
+            )
+            context.charge(block_bytes, "top-k scan block")
+        try:
+            flat = (u[block_start:block_stop] @ v_t).ravel()
+            # Candidates: everything that can still reach the top k.  The
+            # >= keeps score ties with the current k-th entry, so the merge
+            # below decides them by the canonical order, never by arrival.
+            if threshold > -np.inf:
+                candidates = np.flatnonzero(flat >= threshold)
+            else:
+                candidates = np.arange(flat.size)
+            values = flat[candidates]
+        finally:
+            if context is not None:
+                context.release(block_bytes)
+        if values.size > k:
+            kth = values[np.argpartition(-values, k - 1)[k - 1]]
+            keep = values >= kth
+            candidates = candidates[keep]
+            values = values[keep]
+        if candidates.size == 0:
+            continue
+        merged_scores = np.concatenate([best_scores, values])
+        merged_rows = np.concatenate(
+            [best_rows, block_start + candidates // n_b]
+        )
+        merged_cols = np.concatenate([best_cols, candidates % n_b])
+        order = _canonical_top_k(merged_scores, merged_rows, merged_cols, k)
+        best_scores = merged_scores[order]
+        best_rows = merged_rows[order]
+        best_cols = merged_cols[order]
+        if best_scores.size == k:
+            threshold = float(best_scores[-1])
+    return best_scores, best_rows, best_cols
+
+
+def scan_top_pairs(
+    factors: LowRankFactors,
+    k: int,
+    block_rows: int = 1024,
+    context: ExecutionContext | None = None,
+    max_workers: "WorkerPool | int | None" = None,
+    score_scale: float = 1.0,
+) -> list[ScoredPair]:
+    """The ``k`` best pairs of a prebuilt factor pair.
+
+    ``score_scale`` multiplies the raw factored scores in the returned
+    pairs (callers pass ``1 / ||Z||_F`` for normalised scores); the
+    ranking itself uses the raw scores, so any positive scale yields the
+    same pairs.  With ``max_workers > 1`` the rows split into contiguous
+    per-worker ranges whose local k-best sets are merged by the canonical
+    ``(-score, node_a, node_b)`` order — results are identical for every
+    worker count and block size.
+    """
+    k = check_positive_integer(k, "k")
+    block_rows = check_positive_integer(block_rows, "block_rows")
+    n_a, n_b = factors.shape
+    k = min(k, n_a * n_b)
+    pool = WorkerPool.resolve(max_workers)
+    v_t = np.ascontiguousarray(factors.v.T)
+    u = factors.u
+
+    def _scan(bounds: tuple[int, int]) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        start, stop = bounds
+        return _scan_range(u, v_t, start, stop, k, block_rows, context)
+
+    parts = pool.map(
+        _scan,
+        shard_ranges(n_a, pool.max_workers),
+        context=context,
+        what="top-k pair scan",
+    )
+    if not parts:
+        return []
+    scores = np.concatenate([part[0] for part in parts])
+    rows = np.concatenate([part[1] for part in parts])
+    cols = np.concatenate([part[2] for part in parts])
+    order = _canonical_top_k(scores, rows, cols, k)
+    return [
+        ScoredPair(int(rows[i]), int(cols[i]), float(scores[i]) * score_scale)
+        for i in order
+    ]
 
 
 def top_k_pairs(
@@ -66,13 +220,16 @@ def top_k_pairs(
     iterations: int = 10,
     block_rows: int = 1024,
     context: ExecutionContext | None = None,
+    max_workers: "WorkerPool | int | None" = None,
 ) -> list[ScoredPair]:
     """The ``k`` highest-similarity cross-graph pairs.
 
     Scores are the *unnormalised* factored products; the ordering is
     identical to the normalised similarity (normalisation is a positive
     scalar), and returned scores are rescaled to unit Frobenius norm for
-    interpretability.
+    interpretability.  Ties are broken by lowest ``node_a`` then lowest
+    ``node_b``; the result is independent of ``block_rows`` and
+    ``max_workers``.
 
     Examples
     --------
@@ -85,47 +242,20 @@ def top_k_pairs(
     """
     k = check_positive_integer(k, "k")
     block_rows = check_positive_integer(block_rows, "block_rows")
-    factors = _factors_for(graph_a, graph_b, iterations, context=context)
-    n_a, n_b = factors.shape
-    k = min(k, n_a * n_b)
+    factors = _factors_for(
+        graph_a, graph_b, iterations, context=context, max_workers=max_workers
+    )
     norm = factors.frobenius_norm(include_scale=False)
     if norm == 0.0:
         raise ZeroDivisionError("similarity collapsed to zero; no ranking exists")
-
-    heap: list[tuple[float, int, int]] = []  # (score, a, b) min-heap
-    v_t = factors.v.T
-    for start in range(0, n_a, block_rows):
-        stop = min(start + block_rows, n_a)
-        if context is not None:
-            context.checkpoint(f"top_k_pairs scan at row {start}")
-            context.metrics.increment("topk.blocks_scanned")
-            context.metrics.increment("topk.rows_scanned", stop - start)
-        block = factors.u[start:stop] @ v_t  # (rows, n_B), bounded memory
-        if len(heap) < k:
-            # Seed the heap from the first block's top entries; the stable
-            # sort of the negated block prefers smaller indices among ties,
-            # and later blocks only displace on strictly greater scores,
-            # so tie-breaking is deterministic (lowest node ids win).
-            flat = np.argsort(-block, axis=None, kind="stable")[:k]
-            for index in flat:
-                row, col = divmod(int(index), n_b)
-                entry = (float(block[row, col]), start + row, col)
-                if len(heap) < k:
-                    heapq.heappush(heap, entry)
-                else:
-                    heapq.heappushpop(heap, entry)
-            continue
-        threshold = heap[0][0]
-        rows, cols = np.nonzero(block > threshold)
-        for row, col in zip(rows, cols):
-            entry = (float(block[row, col]), start + int(row), int(col))
-            if entry[0] > heap[0][0]:
-                heapq.heappushpop(heap, entry)
-    ranked = sorted(heap, key=lambda item: (-item[0], item[1], item[2]))
-    return [
-        ScoredPair(node_a=a, node_b=b, score=score / norm)
-        for score, a, b in ranked
-    ]
+    return scan_top_pairs(
+        factors,
+        k,
+        block_rows=block_rows,
+        context=context,
+        max_workers=max_workers,
+        score_scale=1.0 / norm,
+    )
 
 
 def top_k_for_queries(
@@ -134,33 +264,71 @@ def top_k_for_queries(
     queries_a: np.ndarray | list[int],
     k: int,
     iterations: int = 10,
+    block_rows: int = 1024,
     context: ExecutionContext | None = None,
+    max_workers: "WorkerPool | int | None" = None,
 ) -> dict[int, list[ScoredPair]]:
     """For each query node of ``G_A``, its ``k`` best matches in ``G_B``.
 
     Returns a mapping ``query node -> ranked ScoredPair list`` (ties broken
-    by node id for determinism).
+    by node id for determinism).  Query rows are scored in blocks of at
+    most ``block_rows``, so memory stays ``O(block_rows * n_B)`` however
+    large the query set is — each block's working set is charged against
+    the context's memory ledger and released after the block.
     """
     k = check_positive_integer(k, "k")
-    factors = _factors_for(graph_a, graph_b, iterations, context=context)
+    block_rows = check_positive_integer(block_rows, "block_rows")
+    factors = _factors_for(
+        graph_a, graph_b, iterations, context=context, max_workers=max_workers
+    )
     rows = resolve_node_index(
         queries_a, factors.shape[0], "queries_a",
         allow_empty=True, allow_duplicates=True,
     )
-    k = min(k, factors.shape[1])
+    n_b = factors.shape[1]
+    k = min(k, n_b)
     norm = factors.frobenius_norm(include_scale=False)
     if norm == 0.0:
         raise ZeroDivisionError("similarity collapsed to zero; no ranking exists")
-    if context is not None:
-        context.checkpoint("top_k_for_queries row scan")
-    block = factors.u[rows] @ factors.v.T  # (|Q_A|, n_B)
+    pool = WorkerPool.resolve(max_workers)
+    v_t = np.ascontiguousarray(factors.v.T)
+    u = factors.u
+
+    def _scan_chunk(
+        bounds: tuple[int, int],
+    ) -> list[tuple[int, np.ndarray, np.ndarray]]:
+        start, stop = bounds
+        chunk = rows[start:stop]
+        block_bytes = dense_matrix_bytes(chunk.size, n_b)
+        if context is not None:
+            context.checkpoint(f"top_k_for_queries scan at query {start}")
+            context.metrics.increment("topk.blocks_scanned")
+            context.metrics.increment("topk.rows_scanned", int(chunk.size))
+            context.charge(block_bytes, "top-k query block")
+        try:
+            block = u[chunk] @ v_t
+            out = []
+            for i, node_a in enumerate(chunk):
+                order = _row_top_k(block[i], k)
+                # Copy only the k survivors so the full block can be freed.
+                out.append((int(node_a), order, block[i, order]))
+            return out
+        finally:
+            if context is not None:
+                context.release(block_bytes)
+
+    chunk_bounds = [
+        (start, min(start + block_rows, rows.size))
+        for start in range(0, rows.size, block_rows)
+    ]
+    parts = pool.map(
+        _scan_chunk, chunk_bounds, context=context, what="top-k query scan"
+    )
     results: dict[int, list[ScoredPair]] = {}
-    for i, node_a in enumerate(rows):
-        order = np.argsort(-block[i], kind="stable")[:k]
-        results[int(node_a)] = [
-            ScoredPair(int(node_a), int(col), float(block[i, col]) / norm)
-            for col in order
-        ]
-    if context is not None:
-        context.metrics.increment("topk.rows_scanned", int(rows.size))
+    for part in parts:
+        for node_a, order, scores in part:
+            results[node_a] = [
+                ScoredPair(node_a, int(col), float(score) / norm)
+                for col, score in zip(order, scores)
+            ]
     return results

@@ -10,6 +10,11 @@ Scaling: the paper's query-set sizes (|Q| = 2,000, or 20,000 for Q_B on
 the large graphs) are mapped per scale profile by ``_QUERY_TARGETS``,
 clamped to the graph sizes.  Datasets come from the simulated registry
 (:mod:`repro.graphs.datasets`).
+
+Every driver builds its cell list up front and hands it to
+:func:`repro.experiments.runner.run_cells`, so setting
+``ExperimentConfig.max_workers > 1`` sweeps independent cells
+concurrently without changing any record's outcome.
 """
 
 from __future__ import annotations
@@ -19,9 +24,10 @@ import numpy as np
 from repro.experiments.runner import (
     ALGORITHMS,
     AlgorithmSpec,
+    CellTask,
     ExperimentConfig,
     RunRecord,
-    run_algorithm,
+    run_cells,
 )
 from repro.graphs.datasets import load_dataset_pair
 from repro.graphs.graph import Graph
@@ -85,26 +91,17 @@ def fig2_time_by_dataset(
     fail on the large datasets; RSim/NED only survive the smallest.
     """
     config = config or ExperimentConfig()
-    records = []
+    tasks = []
     for dataset in datasets:
         graph_a, graph_b, queries_a, queries_b = _load_instance(dataset, config)
         for spec in _specs(algorithms):
-            records.append(
-                run_algorithm(
-                    spec,
-                    graph_a,
-                    graph_b,
-                    queries_a,
-                    queries_b,
-                    config.iterations,
-                    memory_budget=config.memory_budget,
-                    deadline=config.deadline,
-                    dataset=dataset,
-                    retry_policy=config.retry_policy,
-                    journal=config.journal,
+            tasks.append(
+                CellTask(
+                    spec, graph_a, graph_b, queries_a, queries_b,
+                    config.iterations, dataset=dataset,
                 )
             )
-    return records
+    return run_cells(tasks, config)
 
 
 def fig3_time_vs_k(
@@ -120,24 +117,12 @@ def fig3_time_vs_k(
     """
     config = config or ExperimentConfig()
     graph_a, graph_b, queries_a, queries_b = _load_instance(dataset, config)
-    records = []
-    for k in k_values:
-        for spec in _specs(algorithms):
-            record = run_algorithm(
-                spec,
-                graph_a,
-                graph_b,
-                queries_a,
-                queries_b,
-                k,
-                memory_budget=config.memory_budget,
-                deadline=config.deadline,
-                dataset=dataset,
-                retry_policy=config.retry_policy,
-                journal=config.journal,
-            )
-            records.append(record)
-    return records
+    tasks = [
+        CellTask(spec, graph_a, graph_b, queries_a, queries_b, k, dataset=dataset)
+        for k in k_values
+        for spec in _specs(algorithms)
+    ]
+    return run_cells(tasks, config)
 
 
 def fig4_time_vs_nb(
@@ -155,7 +140,7 @@ def fig4_time_vs_nb(
     from repro.graphs.datasets import load_dataset  # local to avoid cycle
 
     graph_a = load_dataset(dataset, scale=config.scale, seed=config.seed)
-    records = []
+    tasks = []
     for fraction in nb_fractions:
         size_b = max(16, int(graph_a.num_nodes * fraction))
         graph_b = random_node_sample(graph_a, size_b, seed=config.seed + 13)
@@ -164,21 +149,14 @@ def fig4_time_vs_nb(
             graph_a, graph_b, size_qa, size_qb, seed=config.seed + 1
         )
         for spec in _specs(algorithms):
-            record = run_algorithm(
-                spec,
-                graph_a,
-                graph_b,
-                workload.queries_a,
-                workload.queries_b,
-                config.iterations,
-                memory_budget=config.memory_budget,
-                deadline=config.deadline,
-                dataset=dataset,
-                retry_policy=config.retry_policy,
-                journal=config.journal,
+            tasks.append(
+                CellTask(
+                    spec, graph_a, graph_b,
+                    workload.queries_a, workload.queries_b,
+                    config.iterations, dataset=dataset,
+                )
             )
-            records.append(record)
-    return records
+    return run_cells(tasks, config)
 
 
 def fig5_time_vs_queries(
@@ -194,25 +172,18 @@ def fig5_time_vs_queries(
     """
     config = config or ExperimentConfig()
     graph_a, graph_b, _, _ = _load_instance(dataset, config)
-    records = []
+    tasks = []
     for size in query_sizes:
         workload = make_workload(graph_a, graph_b, size, size, seed=config.seed + 1)
         for spec in _specs(algorithms):
-            record = run_algorithm(
-                spec,
-                graph_a,
-                graph_b,
-                workload.queries_a,
-                workload.queries_b,
-                config.iterations,
-                memory_budget=config.memory_budget,
-                deadline=config.deadline,
-                dataset=dataset,
-                retry_policy=config.retry_policy,
-                journal=config.journal,
+            tasks.append(
+                CellTask(
+                    spec, graph_a, graph_b,
+                    workload.queries_a, workload.queries_b,
+                    config.iterations, dataset=dataset,
+                )
             )
-            records.append(record)
-    return records
+    return run_cells(tasks, config)
 
 
 # ----------------------------------------------------------------------

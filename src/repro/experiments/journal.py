@@ -26,6 +26,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import threading
 import warnings
 from pathlib import Path
 
@@ -71,6 +72,9 @@ class RunJournal:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._records: dict[str, RunRecord] = {}
+        # Parallel sweeps journal from worker threads; the lock keeps the
+        # append-file writes whole lines and the hit counter exact.
+        self._lock = threading.Lock()
         self.hits = 0
         self.skipped_lines = 0
         if self.path.exists():
@@ -119,10 +123,11 @@ class RunJournal:
 
     def get(self, key: str) -> RunRecord | None:
         """The journalled record for ``key``, counting a replay hit."""
-        record = self._records.get(key)
-        if record is not None:
-            self.hits += 1
-        return record
+        with self._lock:
+            record = self._records.get(key)
+            if record is not None:
+                self.hits += 1
+            return record
 
     # ------------------------------------------------------------------
     # Recording
@@ -134,11 +139,12 @@ class RunJournal:
             {"key": entry["key"], "record": entry["record"]}
         )
         line = json.dumps(entry, sort_keys=True)
-        with self.path.open("a", encoding="utf-8") as handle:
-            handle.write(line + "\n")
-            handle.flush()
-            os.fsync(handle.fileno())
-        self._records[key] = record
+        with self._lock:
+            with self.path.open("a", encoding="utf-8") as handle:
+                handle.write(line + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            self._records[key] = record
 
     def __repr__(self) -> str:
         return (

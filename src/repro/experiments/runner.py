@@ -41,6 +41,7 @@ from repro.experiments.guards import (
 )
 from repro.graphs.graph import Graph
 from repro.runtime import BudgetExceeded, ExecutionContext
+from repro.runtime.parallel import WorkerPool
 from repro.runtime.resilience import RetryPolicy
 from repro.utils.memory import MemoryTracker
 from repro.utils.timing import Stopwatch
@@ -51,10 +52,12 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 __all__ = [
     "ALGORITHMS",
     "AlgorithmSpec",
+    "CellTask",
     "ExperimentConfig",
     "Outcome",
     "RunRecord",
     "run_algorithm",
+    "run_cells",
 ]
 
 RunFn = Callable[
@@ -149,6 +152,14 @@ class ExperimentConfig:
     structured ERROR records when they keep failing), and completed cells
     are journalled after every cell so an interrupted sweep can be
     re-run executing only the missing cells.
+
+    ``max_workers`` parallelises the *cells* of a sweep (each cell keeps
+    its own :class:`repro.runtime.ExecutionContext`); cells are
+    independent, so records come back identical to a serial sweep except
+    for timings — and per-cell memory, which is reported from the
+    context's memory ledger instead of tracemalloc when cells run
+    concurrently (tracemalloc is process-global and cannot attribute
+    allocations to a cell).
     """
 
     scale: str = "small"
@@ -158,6 +169,7 @@ class ExperimentConfig:
     deadline: Deadline = field(default_factory=Deadline)
     retry_policy: RetryPolicy | None = None
     journal: "RunJournal | None" = None
+    max_workers: int = 1
 
     # k per profile such that 2^k stays well below the scaled |V_B|
     # (paper regime: 2^10 = 1024 << |V_B| = 10,000).  Past that point
@@ -374,6 +386,7 @@ def run_algorithm(
     dataset: str = "",
     retry_policy: RetryPolicy | None = None,
     journal: "RunJournal | None" = None,
+    track_memory: bool = True,
 ) -> RunRecord:
     """Gate, execute, and measure one experiment cell.
 
@@ -390,6 +403,12 @@ def run_algorithm(
     sweep.  With a ``journal``, an already-journalled cell is replayed
     without executing and every finished cell is persisted immediately,
     making multi-hour sweeps resumable cell by cell.
+
+    ``track_memory=False`` skips the tracemalloc tracker (which is
+    process-global, so concurrent cells would see each other's
+    allocations) and reports the cell's memory from its context's
+    memory-ledger peak instead; :func:`run_cells` sets this
+    automatically when the sweep runs on a worker pool.
     """
     memory_budget = memory_budget or MemoryBudget()
     deadline = deadline or Deadline()
@@ -417,6 +436,7 @@ def run_algorithm(
             record = _execute_cell(
                 spec, graph_a, graph_b, queries_a, queries_b, iterations,
                 memory_budget, deadline, dataset, params, record_params,
+                track_memory=track_memory,
             )
         except Exception as exc:
             if retry_policy is None or not retry_policy.is_transient(exc):
@@ -453,6 +473,7 @@ def _execute_cell(
     dataset: str,
     params: InstanceParams,
     record_params: dict[str, object],
+    track_memory: bool = True,
 ) -> RunRecord:
     """One gated, measured attempt (structured vetoes become records)."""
     time_units, space_bytes = predict_cost(spec.cost_model, params)
@@ -482,8 +503,16 @@ def _execute_cell(
     context = ExecutionContext(
         deadline=deadline.arm(), memory=memory_budget.ledger()
     )
+    tracker: MemoryTracker | None = None
     try:
-        with MemoryTracker() as tracker:
+        if track_memory:
+            with MemoryTracker() as tracker:
+                with stopwatch:
+                    spec.run(
+                        graph_a, graph_b, queries_a, queries_b, iterations,
+                        context,
+                    )
+        else:
             with stopwatch:
                 spec.run(
                     graph_a, graph_b, queries_a, queries_b, iterations, context
@@ -526,6 +555,63 @@ def _execute_cell(
         record.metrics = context.snapshot()
         return record
     record.seconds = stopwatch.elapsed
-    record.memory_bytes = float(tracker.peak_bytes)
+    if tracker is not None:
+        record.memory_bytes = float(tracker.peak_bytes)
+    elif context.memory is not None:
+        # Ledger peak: the charged working set, not allocator truth — but
+        # attributable to this cell even with other cells in flight.
+        record.memory_bytes = float(context.memory.peak_bytes)
     record.metrics = context.snapshot()
     return record
+
+
+@dataclass(frozen=True)
+class CellTask:
+    """One independent cell of a sweep, ready to hand to :func:`run_cells`."""
+
+    spec: AlgorithmSpec
+    graph_a: Graph
+    graph_b: Graph
+    queries_a: np.ndarray
+    queries_b: np.ndarray
+    iterations: int
+    dataset: str = ""
+
+
+def run_cells(
+    tasks: "list[CellTask]", config: ExperimentConfig
+) -> list[RunRecord]:
+    """Run a sweep's independent cells, serially or on a worker pool.
+
+    Each cell goes through :func:`run_algorithm` unchanged — predictive
+    gating, per-cell retry/quarantine, and journal replay/persist all
+    compose with the pool (the journal is lock-protected).  Records come
+    back in task order for every ``config.max_workers``, and algorithm
+    *results* are identical to a serial sweep because cells share no
+    state.  Measurements are measurements, though: timings shift with
+    CPU contention, memory is ledger- instead of tracemalloc-reported,
+    and — because tracemalloc itself slows allocation-heavy Python loops
+    severalfold — a cell sitting near the wall-clock limit can TIMEOUT
+    in a (tracked) serial sweep yet finish in an (untracked) parallel
+    one.  Predictive vetoes (``>1day`` / predicted-OOM) never vary.
+    """
+    pool = WorkerPool.resolve(config.max_workers)
+    track_memory = pool.serial or len(tasks) <= 1
+
+    def _run(task: CellTask) -> RunRecord:
+        return run_algorithm(
+            task.spec,
+            task.graph_a,
+            task.graph_b,
+            task.queries_a,
+            task.queries_b,
+            task.iterations,
+            memory_budget=config.memory_budget,
+            deadline=config.deadline,
+            dataset=task.dataset,
+            retry_policy=config.retry_policy,
+            journal=config.journal,
+            track_memory=track_memory,
+        )
+
+    return pool.map(_run, tasks, what="sweep cells")

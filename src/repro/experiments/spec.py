@@ -35,7 +35,13 @@ from pathlib import Path
 from typing import TYPE_CHECKING
 
 from repro.experiments.guards import Deadline, MemoryBudget
-from repro.experiments.runner import ALGORITHMS, RunRecord, run_algorithm
+from repro.experiments.runner import (
+    ALGORITHMS,
+    CellTask,
+    ExperimentConfig,
+    RunRecord,
+    run_cells,
+)
 from repro.graphs.datasets import DATASETS, load_dataset_pair
 from repro.workloads.queries import make_workload
 
@@ -126,20 +132,31 @@ def run_spec(
     spec: ExperimentSpec,
     journal: "RunJournal | None" = None,
     retry_policy: "RetryPolicy | None" = None,
+    max_workers: int = 1,
 ) -> list[RunRecord]:
     """Expand and execute a spec; returns one record per cell.
 
     Cell order: dataset-major, then sweep value, then algorithm — the
-    order the text report groups most readably.
+    order the text report groups most readably (and the order records
+    come back in for every ``max_workers``).
 
     ``journal`` makes the run resumable cell by cell (completed cells are
     replayed, the rest executed and persisted immediately);
     ``retry_policy`` retries transient per-cell failures and quarantines
-    cells that keep failing.
+    cells that keep failing; ``max_workers > 1`` executes independent
+    cells concurrently.
     """
-    memory_budget = MemoryBudget(int(spec.memory_budget_mib * 1024 * 1024))
-    deadline = Deadline(limit_seconds=spec.deadline_seconds)
-    records: list[RunRecord] = []
+    config = ExperimentConfig(
+        scale=spec.scale,
+        iterations=spec.iterations,
+        seed=spec.seed,
+        memory_budget=MemoryBudget(int(spec.memory_budget_mib * 1024 * 1024)),
+        deadline=Deadline(limit_seconds=spec.deadline_seconds),
+        retry_policy=retry_policy,
+        journal=journal,
+        max_workers=max_workers,
+    )
+    tasks: list[CellTask] = []
     for dataset in spec.datasets:
         for overrides in spec.variations():
             iterations = overrides.get("iterations", spec.iterations)
@@ -152,19 +169,15 @@ def run_spec(
                 graph_a, graph_b, query_size, query_size, seed=spec.seed + 1
             )
             for algorithm in spec.algorithms:
-                records.append(
-                    run_algorithm(
+                tasks.append(
+                    CellTask(
                         ALGORITHMS[algorithm],
                         graph_a,
                         graph_b,
                         workload.queries_a,
                         workload.queries_b,
                         iterations,
-                        memory_budget=memory_budget,
-                        deadline=deadline,
                         dataset=dataset.upper(),
-                        retry_policy=retry_policy,
-                        journal=journal,
                     )
                 )
-    return records
+    return run_cells(tasks, config)

@@ -63,9 +63,10 @@ class Graph:
         matrix.eliminate_zeros()
         matrix.sum_duplicates()
         self._adj = matrix
-        # Pre-transposed CSR view: A.T products dominate every iteration, so
-        # pay the conversion once instead of per matvec.
-        self._adj_t = matrix.transpose().tocsr()
+        # Cached CSR form of A.T, built on first access: A^T products
+        # dominate every iteration, so the conversion is paid at most once
+        # per graph — and never for graphs that only serve A products.
+        self._adj_t: sp.csr_matrix | None = None
         self._name = str(name)
 
     # ------------------------------------------------------------------
@@ -138,7 +139,14 @@ class Graph:
 
     @property
     def adjacency_t(self) -> sp.csr_matrix:
-        """``A.T`` pre-converted to CSR (do not mutate)."""
+        """``A.T`` converted to CSR once and cached (do not mutate).
+
+        The benign race of two threads building the cache concurrently
+        just computes the same matrix twice; the attribute write is
+        atomic, so readers always see either ``None`` or a complete CSR.
+        """
+        if self._adj_t is None:
+            self._adj_t = self._adj.transpose().tocsr()
         return self._adj_t
 
     @property
@@ -166,7 +174,7 @@ class Graph:
 
     def in_degrees(self) -> np.ndarray:
         """Array of in-degrees (edge counts, ignoring weights)."""
-        return np.diff(self._adj_t.indptr)
+        return np.diff(self.adjacency_t.indptr)
 
     def max_degree(self) -> int:
         """Maximum of in- and out-degree over all nodes (0 if edgeless)."""
@@ -184,8 +192,8 @@ class Graph:
     def predecessors(self, node: int) -> np.ndarray:
         """In-neighbours of ``node`` as an int array."""
         self._check_node(node)
-        start, stop = self._adj_t.indptr[node], self._adj_t.indptr[node + 1]
-        return self._adj_t.indices[start:stop].copy()
+        start, stop = self.adjacency_t.indptr[node], self.adjacency_t.indptr[node + 1]
+        return self.adjacency_t.indices[start:stop].copy()
 
     def neighbors(self, node: int) -> np.ndarray:
         """Union of in- and out-neighbours of ``node`` (sorted, deduplicated)."""
@@ -210,7 +218,7 @@ class Graph:
     # ------------------------------------------------------------------
     def reversed(self) -> "Graph":
         """The graph with every edge direction flipped."""
-        return Graph(self._adj_t, name=f"{self._name}-reversed")
+        return Graph(self.adjacency_t, name=f"{self._name}-reversed")
 
     def to_undirected(self) -> "Graph":
         """Symmetrise: edge i~j present if either direction exists.
@@ -219,7 +227,7 @@ class Graph:
         convention used by the role-similarity baselines that operate on
         undirected structure.
         """
-        sym = self._adj.maximum(self._adj_t)
+        sym = self._adj.maximum(self.adjacency_t)
         return Graph(sym, name=f"{self._name}-undirected")
 
     def subgraph(self, nodes: Iterable[int], name: str | None = None) -> "Graph":
@@ -255,7 +263,7 @@ class Graph:
     def memory_bytes(self) -> int:
         """Approximate bytes held by the CSR structures (A and A.T)."""
         total = 0
-        for matrix in (self._adj, self._adj_t):
+        for matrix in (self._adj, self.adjacency_t):
             total += matrix.data.nbytes + matrix.indices.nbytes + matrix.indptr.nbytes
         return total
 

@@ -19,7 +19,7 @@ import numpy as np
 from repro.core.batch import BatchQueryEngine
 from repro.core.embeddings import LowRankFactors
 from repro.core.gsim_plus import GSimPlus
-from repro.core.topk import ScoredPair
+from repro.core.topk import ScoredPair, scan_top_pairs
 from repro.graphs.graph import Graph
 from repro.runtime import ExecutionContext, Metrics
 from repro.runtime.errors import CorruptArtifactError
@@ -264,38 +264,42 @@ class GSimIndex:
             for col in order
         ]
 
+    def query_many(
+        self,
+        requests,
+        max_workers=None,
+        context: ExecutionContext | None = None,
+    ) -> list[np.ndarray]:
+        """Answer many query blocks, optionally across a worker pool.
+
+        Delegates to :meth:`repro.core.batch.BatchQueryEngine.query_many`;
+        results come back in request order for every worker count.
+        """
+        return self._engine.query_many(
+            requests, max_workers=max_workers, context=context
+        )
+
     def top_pairs(
         self,
         k: int = 10,
         block_rows: int = 1024,
         context: ExecutionContext | None = None,
+        max_workers=None,
     ) -> list[ScoredPair]:
-        """The ``k`` globally best pairs, scanned under bounded memory."""
-        k = check_positive_integer(k, "k")
-        import heapq
+        """The ``k`` globally best pairs, scanned under bounded memory.
 
-        heap: list[tuple[float, int, int]] = []
-        for start, block in self._engine.stream_rows(
-            block_rows=block_rows, context=context
-        ):
-            if len(heap) < k:
-                flat = np.argsort(-block, axis=None, kind="stable")[:k]
-                for index in flat:
-                    row, col = divmod(int(index), block.shape[1])
-                    entry = (float(block[row, col]), start + row, col)
-                    if len(heap) < k:
-                        heapq.heappush(heap, entry)
-                    else:
-                        heapq.heappushpop(heap, entry)
-                continue
-            threshold = heap[0][0]
-            rows, cols = np.nonzero(block > threshold)
-            for row, col in zip(rows, cols):
-                entry = (float(block[row, col]), start + int(row), int(col))
-                if entry[0] > heap[0][0]:
-                    heapq.heappushpop(heap, entry)
-        ranked = sorted(heap, key=lambda item: (-item[0], item[1], item[2]))
-        return [ScoredPair(node_a=a, node_b=b, score=s) for s, a, b in ranked]
+        Scores are globally normalised (entries of the unit-Frobenius
+        matrix); ties break by lowest ``node_a`` then ``node_b``, and the
+        result is identical for every ``block_rows`` and ``max_workers``.
+        """
+        return scan_top_pairs(
+            self._factors,
+            k,
+            block_rows=block_rows,
+            context=context,
+            max_workers=max_workers,
+            score_scale=1.0 / self._engine.global_norm,
+        )
 
     def __repr__(self) -> str:
         return (

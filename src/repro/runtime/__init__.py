@@ -31,6 +31,7 @@ from repro.runtime.errors import (
     TransientError,
 )
 from repro.runtime.metrics import Metrics
+from repro.runtime.parallel import WorkerPool, shard_ranges, shard_rows_by_nnz
 from repro.runtime.resilience import (
     Checkpoint,
     CheckpointManager,
@@ -59,6 +60,9 @@ __all__ = [
     "RetryPolicy",
     "TransientError",
     "WallClockDeadline",
+    "WorkerPool",
     "atomic_write",
     "content_checksum",
+    "shard_ranges",
+    "shard_rows_by_nnz",
 ]
