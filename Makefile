@@ -8,6 +8,11 @@ PYTHON ?= python
 # sharding from library-internal threading (see docs/usage.md).
 BENCH_ENV = OMP_NUM_THREADS=1 OPENBLAS_NUM_THREADS=1 MKL_NUM_THREADS=1 PYTHONPATH=src
 
+# Where `make bench` writes its pytest-benchmark JSON; override with
+# `make bench BENCH_OUT=elsewhere.json`.  Defaults under results/ so a
+# bench run never dirties the repo root.
+BENCH_OUT ?= results/BENCH_core.json
+
 install:
 	$(PYTHON) -m pip install -e '.[dev]'
 
@@ -18,11 +23,12 @@ test-fast:
 	$(PYTHON) -m pytest tests/ -m 'not slow'
 
 bench:
+	mkdir -p $(dir $(BENCH_OUT))
 	$(BENCH_ENV) $(PYTHON) -m pytest \
 		benchmarks/test_core_kernels.py \
 		benchmarks/test_topk_retrieval.py \
 		benchmarks/test_parallel_scan.py \
-		--benchmark-only --benchmark-json=BENCH_core.json
+		--benchmark-only --benchmark-json=$(BENCH_OUT)
 
 bench-all:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -7,12 +7,22 @@ Usage (installed as ``gsimplus`` or via ``python -m repro.cli``)::
     gsimplus accuracy --scale tiny
     gsimplus all --scale tiny
     gsimplus fig2 --scale tiny --metrics out.json   # dump runtime metrics
+    gsimplus spec exp.json --trace trace.json --trace-summary
 
-``--metrics PATH`` (figures, ``all``, ``topk``, ``sim``, ``spec``) writes
-the run's :class:`repro.runtime.Metrics` counter/timer tree as JSON —
+``--metrics PATH`` (every subcommand) writes the run's
+:class:`repro.runtime.Metrics` counter/timer/histogram tree as JSON —
 for experiment commands the per-cell metric snapshots are merged into one
 tree; for ``topk``/``sim`` the run executes under a fresh
-:class:`repro.runtime.ExecutionContext` whose snapshot is dumped.
+:class:`repro.runtime.ExecutionContext` whose snapshot is dumped; for
+``accuracy``/``bound``/``datasets`` the command's wall time is recorded
+under ``cli.*`` timers.
+
+``--trace PATH`` (figures, ``all``, ``spec``, ``topk``, ``sim``) records
+a hierarchical span trace of the run and writes Chrome ``trace_event``
+JSON — open it in Perfetto or ``chrome://tracing`` to see iterate →
+shard → top-k nesting; ``--trace-summary`` prints the per-span-name
+total/self-time hot-path table instead of (or as well as) the file.
+``--trace`` and ``--metrics`` compose in one run.
 """
 
 from __future__ import annotations
@@ -126,7 +136,23 @@ def _build_parser() -> argparse.ArgumentParser:
             "--metrics",
             default=None,
             metavar="PATH",
-            help="write the run's counter/timer tree as JSON to this path",
+            help="write the run's counter/timer/histogram tree as JSON to "
+            "this path",
+        )
+
+    def _add_trace(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--trace",
+            default=None,
+            metavar="PATH",
+            help="record a hierarchical span trace and write Chrome "
+            "trace_event JSON to this path (open in Perfetto or "
+            "chrome://tracing)",
+        )
+        sub.add_argument(
+            "--trace-summary",
+            action="store_true",
+            help="print a per-span-name total/self-time table after the run",
         )
 
     def _add_workers(sub: argparse.ArgumentParser) -> None:
@@ -144,6 +170,7 @@ def _build_parser() -> argparse.ArgumentParser:
         sub = subparsers.add_parser(name, help=f"Figure {name[3:]}: {description}")
         _add_common(sub)
         _add_metrics(sub)
+        _add_trace(sub)
         _add_resilience(sub)
         _add_workers(sub)
         if name in ("fig3", "fig4", "fig5", "fig7", "fig8"):
@@ -153,12 +180,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "accuracy", help="§5.2.3 accuracy table (GSim+/GSim vs GSVD ranks)"
     )
     _add_common(accuracy)
+    _add_metrics(accuracy)
     accuracy.add_argument("--dataset", default="HP", help="dataset key")
 
     bound = subparsers.add_parser(
         "bound", help="Theorem 4.2 validation: measured error vs spectral bound"
     )
     _add_common(bound)
+    _add_metrics(bound)
     bound.add_argument("--dataset", default="HP", help="dataset key")
 
     everything = subparsers.add_parser(
@@ -166,6 +195,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_common(everything)
     _add_metrics(everything)
+    _add_trace(everything)
     _add_resilience(everything)
     _add_workers(everything)
 
@@ -174,6 +204,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_common(topk)
     _add_metrics(topk)
+    _add_trace(topk)
     _add_workers(topk)
     topk.add_argument("--dataset", default="HP", help="dataset key")
     topk.add_argument("--top", type=int, default=10, help="number of pairs")
@@ -186,6 +217,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="profile whose realised statistics to measure",
     )
     datasets.add_argument("--seed", type=int, default=7)
+    _add_metrics(datasets)
 
     sim = subparsers.add_parser(
         "sim", help="compute GSim+ similarities between two edge-list files"
@@ -215,6 +247,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--output", default=None, help="write the block as CSV to this path"
     )
     _add_metrics(sim)
+    _add_trace(sim)
     _add_resilience(sim)
     _add_workers(sim)
 
@@ -222,6 +255,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "spec", help="run a declarative experiment from a JSON spec file"
     )
     _add_metrics(spec)
+    _add_trace(spec)
     spec.add_argument("spec_path", help="path to the JSON experiment spec")
     spec.add_argument(
         "--metric", default="time", choices=("time", "memory"),
@@ -259,11 +293,56 @@ def _resilience(args: argparse.Namespace, journal_name: str):
     return journal, retry_policy
 
 
+def _make_tracer(args: argparse.Namespace):
+    """A live :class:`repro.runtime.Tracer` when --trace/--trace-summary
+    was given, ``None`` otherwise (the traced code then sees the no-op
+    ``NULL_TRACER`` and pays nothing)."""
+    if getattr(args, "trace", None) or getattr(args, "trace_summary", False):
+        from repro.runtime import Tracer
+
+        return Tracer()
+    return None
+
+
+def _finish(
+    args: argparse.Namespace, tracer=None, metrics_tree: dict | None = None
+) -> int:
+    """Emit the --metrics / --trace / --trace-summary outputs.
+
+    All three compose in one run; the exit code is non-zero when any
+    requested artifact could not be written.
+    """
+    code = 0
+    if getattr(args, "metrics", None) and metrics_tree is not None:
+        code = max(code, _write_metrics(args.metrics, metrics_tree))
+    if tracer is not None:
+        if getattr(args, "trace", None):
+            try:
+                tracer.write_chrome_trace(args.trace)
+            except OSError as exc:
+                print(
+                    f"error: cannot write trace to {args.trace}: {exc}",
+                    file=sys.stderr,
+                )
+                code = max(code, 1)
+            else:
+                print(
+                    f"trace written to {args.trace} "
+                    f"({len(tracer.spans())} spans; open in Perfetto)"
+                )
+        if getattr(args, "trace_summary", False):
+            from repro.runtime import render_trace_summary
+
+            print(render_trace_summary(tracer))
+    return code
+
+
 def _run_figure(
     name: str,
     args: argparse.Namespace,
     journal=None,
     retry_policy=None,
+    tracer=None,
 ) -> tuple[str, list]:
     if journal is None and retry_policy is None:
         journal, retry_policy = _resilience(args, name)
@@ -274,6 +353,7 @@ def _run_figure(
         journal=journal,
         retry_policy=retry_policy,
         max_workers=getattr(args, "workers", 1),
+        tracer=tracer,
     )
     if args.iterations is None:
         config = ExperimentConfig.for_scale(args.scale, seed=args.seed, **guards)
@@ -328,42 +408,54 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
     if args.command in _FIGURES:
-        rendered, records = _run_figure(args.command, args)
+        tracer = _make_tracer(args)
+        rendered, records = _run_figure(args.command, args, tracer=tracer)
         print(rendered)
-        if args.metrics:
-            return _write_metrics(args.metrics, _merged_record_metrics(records))
-        return 0
-    if args.command == "accuracy":
-        table = accuracy_table(
-            dataset=args.dataset, scale=args.scale, seed=args.seed
+        return _finish(
+            args, tracer,
+            _merged_record_metrics(records) if args.metrics else None,
         )
+    if args.command == "accuracy":
+        from repro.runtime import Metrics
+
+        metrics = Metrics()
+        with metrics.time("cli.accuracy"):
+            table = accuracy_table(
+                dataset=args.dataset, scale=args.scale, seed=args.seed
+            )
         print(render_accuracy_table(table))
         print(
             f"max |GSim+ err - GSim err| = {table.max_equivalence_gap():.3e} "
             "(Theorem 3.1 predicts 0)"
         )
-        return 0
+        return _finish(args, None, metrics.snapshot() if args.metrics else None)
     if args.command == "bound":
         from repro.experiments.tables import error_bound_table, render_error_bound_table
+        from repro.runtime import Metrics
 
-        table = error_bound_table(dataset=args.dataset, seed=args.seed)
+        metrics = Metrics()
+        with metrics.time("cli.bound"):
+            table = error_bound_table(dataset=args.dataset, seed=args.seed)
         print(render_error_bound_table(table))
-        return 0
+        return _finish(args, None, metrics.snapshot() if args.metrics else None)
     if args.command == "all":
         journal, retry_policy = _resilience(args, "all")
+        tracer = _make_tracer(args)
         all_records: list = []
         for name in _FIGURES:
             rendered, records = _run_figure(
-                name, args, journal=journal, retry_policy=retry_policy
+                name, args, journal=journal, retry_policy=retry_policy,
+                tracer=tracer,
             )
             print(rendered)
             print()
             all_records.extend(records)
         table = accuracy_table(scale=args.scale, seed=args.seed)
         print(render_accuracy_table(table))
-        if args.metrics:
-            return _write_metrics(args.metrics, _merged_record_metrics(all_records))
-        return 0
+        return _finish(
+            args, tracer,
+            _merged_record_metrics(all_records) if args.metrics else None,
+        )
     if args.command == "topk":
         from repro.core import top_k_pairs
         from repro.graphs import load_dataset_pair
@@ -375,7 +467,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         iterations = args.iterations
         if iterations is None:
             iterations = ExperimentConfig.for_scale(args.scale).iterations
-        context = ExecutionContext()
+        tracer = _make_tracer(args)
+        context = ExecutionContext(tracer=tracer)
         pairs = top_k_pairs(
             graph_a, graph_b, args.top, iterations=iterations, context=context,
             max_workers=args.workers,
@@ -386,9 +479,9 @@ def main(argv: Sequence[str] | None = None) -> int:
                 f"  G_A {pair.node_a:>7}  ~  G_B {pair.node_b:>6}"
                 f"   score {pair.score:.5f}"
             )
-        if args.metrics:
-            return _write_metrics(args.metrics, context.snapshot())
-        return 0
+        return _finish(
+            args, tracer, context.snapshot() if args.metrics else None
+        )
     if args.command == "sim":
         import numpy as np
 
@@ -419,7 +512,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         graph_b = read_edge_list(args.graph_b, relabel=args.relabel)
         print(f"G_A = {graph_a}")
         print(f"G_B = {graph_b}")
-        context = ExecutionContext()
+        tracer = _make_tracer(args)
+        context = ExecutionContext(tracer=tracer)
         if args.top is not None:
             def _top_pairs():
                 return top_k_pairs(
@@ -433,9 +527,9 @@ def main(argv: Sequence[str] | None = None) -> int:
                 pairs = _top_pairs()
             for pair in pairs:
                 print(f"  {pair.node_a}\t{pair.node_b}\t{pair.score:.6f}")
-            if args.metrics:
-                return _write_metrics(args.metrics, context.snapshot())
-            return 0
+            return _finish(
+                args, tracer, context.snapshot() if args.metrics else None
+            )
 
         def _parse_queries(raw: str | None) -> list[int] | None:
             if raw is None:
@@ -477,18 +571,19 @@ def main(argv: Sequence[str] | None = None) -> int:
         else:
             with np.printoptions(precision=4, suppress=True, threshold=400):
                 print(result.similarity)
-        if args.metrics:
-            return _write_metrics(args.metrics, context.snapshot())
-        return 0
+        return _finish(
+            args, tracer, context.snapshot() if args.metrics else None
+        )
     if args.command == "spec":
         from repro.experiments.export import write_csv
         from repro.experiments.spec import ExperimentSpec, run_spec
 
         journal, retry_policy = _resilience(args, "spec")
+        tracer = _make_tracer(args)
         spec = ExperimentSpec.from_json(args.spec_path)
         records = run_spec(
             spec, journal=journal, retry_policy=retry_policy,
-            max_workers=args.workers,
+            max_workers=args.workers, tracer=tracer,
         )
         if journal is not None:
             print(
@@ -508,18 +603,22 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.export_csv:
             write_csv(records, args.export_csv)
             print(f"records written to {args.export_csv}")
-        if args.metrics:
-            return _write_metrics(args.metrics, _merged_record_metrics(records))
-        return 0
+        return _finish(
+            args, tracer,
+            _merged_record_metrics(records) if args.metrics else None,
+        )
     if args.command == "datasets":
         from repro.experiments.report import render_table
         from repro.graphs import DATASETS, degree_statistics, load_dataset
+        from repro.runtime import Metrics
 
+        metrics = Metrics()
         rows = []
         for key in sorted(DATASETS):
             spec = DATASETS[key]
-            graph = load_dataset(key, scale=args.scale, seed=args.seed)
-            stats = degree_statistics(graph)
+            with metrics.time("cli.datasets"):
+                graph = load_dataset(key, scale=args.scale, seed=args.seed)
+                stats = degree_statistics(graph)
             rows.append(
                 [
                     key,
@@ -542,7 +641,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                 title=f"Simulated dataset registry (scale={args.scale})",
             )
         )
-        return 0
+        return _finish(args, None, metrics.snapshot() if args.metrics else None)
     raise AssertionError("unreachable")  # pragma: no cover
 
 

@@ -28,6 +28,7 @@ import numpy as np
 from repro.core.embeddings import LowRankFactors
 from repro.runtime import ExecutionContext
 from repro.runtime.parallel import WorkerPool
+from repro.runtime.trace import NULL_TRACER
 from repro.utils.validation import check_positive_integer
 
 __all__ = ["BatchQueryEngine"]
@@ -85,17 +86,22 @@ class BatchQueryEngine:
         """One normalised query block."""
         if context is not None:
             context.checkpoint("batch query block")
-        block = self._factors.query_block(queries_a, queries_b, include_scale=False)
-        if self._normalization == "block":
-            denominator = float(np.linalg.norm(block))
-            if denominator == 0.0:
-                raise ZeroDivisionError("query block has zero norm")
-        else:
-            denominator = self._global_norm
-        if context is not None:
-            context.metrics.increment("batch.blocks_served")
-            context.metrics.increment("batch.cells_served", block.size)
-        return block / denominator
+        tracer = context.tracer if context is not None else NULL_TRACER
+        with tracer.span("batch.query_block") as span:
+            block = self._factors.query_block(
+                queries_a, queries_b, include_scale=False
+            )
+            span.set_attribute("cells", int(block.size))
+            if self._normalization == "block":
+                denominator = float(np.linalg.norm(block))
+                if denominator == 0.0:
+                    raise ZeroDivisionError("query block has zero norm")
+            else:
+                denominator = self._global_norm
+            if context is not None:
+                context.metrics.increment("batch.blocks_served")
+                context.metrics.increment("batch.cells_served", block.size)
+            return block / denominator
 
     def query_many(
         self,

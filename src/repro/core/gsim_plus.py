@@ -66,6 +66,7 @@ from repro.graphs.graph import Graph
 from repro.runtime import ExecutionContext
 from repro.runtime.parallel import WorkerPool, shard_rows_by_nnz
 from repro.runtime.resilience import Checkpoint, CheckpointManager
+from repro.runtime.trace import NULL_TRACER
 from repro.utils.memory import dense_matrix_bytes
 from repro.utils.validation import check_nonnegative_integer, resolve_node_index
 
@@ -280,6 +281,9 @@ class GSimPlus:
         np.nan_to_num(array, copy=False, nan=0.0, posinf=cap, neginf=-cap)
         if context is not None:
             context.metrics.increment("gsim_plus.nonfinite_repairs", repaired)
+            context.tracer.event(
+                "gsim_plus.nonfinite_repair", severity="warning", repaired=repaired
+            )
         return array
 
     def _shards(self, name: str) -> list[tuple[int, int, sp.csr_matrix]]:
@@ -494,6 +498,13 @@ class GSimPlus:
         width / spmm counts land in ``context.metrics`` under
         ``gsim_plus.*``.  Without a context, behaviour is unchanged.
 
+        With a :class:`repro.runtime.Tracer` on the context, every
+        iteration additionally records a ``gsim_plus.iterate`` span
+        (attributes: ``k``, ``width``, and the dense-regime log-norm)
+        under which the worker pool's ``parallel.shard`` spans stitch;
+        rank-cap fallbacks, non-finite repairs, and checkpoint resumes
+        land in the structured event log.
+
         With ``checkpoints`` (a :class:`repro.runtime.CheckpointManager`
         or a directory path), every ``checkpoint_every``-th iterate — and
         always the final one — is snapshotted atomically.  With
@@ -542,7 +553,11 @@ class GSimPlus:
             if context is not None:
                 context.metrics.increment("gsim_plus.resumed")
                 context.metrics.set_gauge("gsim_plus.resume_iteration", start_k)
+                context.tracer.event(
+                    "gsim_plus.resumed", severity="info", iteration=start_k
+                )
         charged = 0
+        tracer = context.tracer if context is not None else NULL_TRACER
 
         def _account(num_bytes: int, what: str) -> None:
             # Swap the charged working set: release the previous charge,
@@ -582,44 +597,59 @@ class GSimPlus:
             for k in range(start_k + 1, iterations + 1):
                 if context is not None:
                     context.checkpoint(f"GSim+ iteration {k}")
-                if dense_z is not None:
-                    dense_z, log_norm = self._step_dense(dense_z, context)
-                    dense_log += log_norm
-                else:
-                    assert factors is not None
-                    if self.rank_cap == "dense" and 2 * factors.width > width_cap:
-                        # Paper §5.2.1 point 6: revert to traditional GSim
-                        # once the doubled width exceeds min(n_A, n_B).
-                        # Working set from here on: the dense iterate plus
-                        # one same-sized update temporary per step.
-                        if context is not None:
-                            _account(
-                                2 * dense_matrix_bytes(self.n_a, self.n_b),
-                                "GSim+ dense rank-cap fallback",
-                            )
-                        dense_z = factors.materialize(include_scale=False)
-                        norm = float(np.linalg.norm(dense_z))
-                        if norm == 0.0:
-                            raise ZeroDivisionError(
-                                "similarity iterate collapsed to zero"
-                            )
-                        dense_z /= norm
-                        # log ||Z||_F of the exact iterate at hand-over.
-                        dense_log = float(np.log(norm)) + factors.log_scale
-                        factors = None
+                with tracer.span("gsim_plus.iterate") as span:
+                    span.set_attribute("k", k)
+                    if dense_z is not None:
                         dense_z, log_norm = self._step_dense(dense_z, context)
                         dense_log += log_norm
                     else:
-                        factors = self._step_factors(factors, context)
-                        if (
-                            self.rank_cap == "qr-compress"
-                            and factors.width > width_cap
-                        ):
-                            factors = factors.compressed()
-                        if context is not None:
-                            _account(
-                                factors.memory_bytes(), f"GSim+ factors (k={k})"
+                        assert factors is not None
+                        if self.rank_cap == "dense" and 2 * factors.width > width_cap:
+                            # Paper §5.2.1 point 6: revert to traditional GSim
+                            # once the doubled width exceeds min(n_A, n_B).
+                            # Working set from here on: the dense iterate plus
+                            # one same-sized update temporary per step.
+                            if context is not None:
+                                _account(
+                                    2 * dense_matrix_bytes(self.n_a, self.n_b),
+                                    "GSim+ dense rank-cap fallback",
+                                )
+                            tracer.event(
+                                "gsim_plus.dense_fallback",
+                                severity="warning",
+                                k=k,
+                                width=factors.width,
+                                width_cap=width_cap,
                             )
+                            dense_z = factors.materialize(include_scale=False)
+                            norm = float(np.linalg.norm(dense_z))
+                            if norm == 0.0:
+                                raise ZeroDivisionError(
+                                    "similarity iterate collapsed to zero"
+                                )
+                            dense_z /= norm
+                            # log ||Z||_F of the exact iterate at hand-over.
+                            dense_log = float(np.log(norm)) + factors.log_scale
+                            factors = None
+                            dense_z, log_norm = self._step_dense(dense_z, context)
+                            dense_log += log_norm
+                        else:
+                            factors = self._step_factors(factors, context)
+                            if (
+                                self.rank_cap == "qr-compress"
+                                and factors.width > width_cap
+                            ):
+                                factors = factors.compressed()
+                            if context is not None:
+                                _account(
+                                    factors.memory_bytes(), f"GSim+ factors (k={k})"
+                                )
+                    span.set_attribute(
+                        "width",
+                        factors.width if factors is not None else width_cap,
+                    )
+                    if dense_z is not None:
+                        span.set_attribute("z_log_norm", dense_log)
                 if context is not None:
                     context.metrics.increment("gsim_plus.iterations")
                     context.metrics.increment("gsim_plus.spmm", 4)
@@ -634,7 +664,9 @@ class GSimPlus:
                 if manager is not None and (
                     k % checkpoint_every == 0 or k == iterations
                 ):
-                    _snapshot_state(k)
+                    with tracer.span("gsim_plus.checkpoint") as ck_span:
+                        ck_span.set_attribute("k", k)
+                        _snapshot_state(k)
                 yield _IterationState(k, factors, dense_z, dense_log)
         finally:
             if context is not None and charged:

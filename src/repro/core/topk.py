@@ -40,6 +40,7 @@ from repro.core.gsim_plus import GSimPlus
 from repro.graphs.graph import Graph
 from repro.runtime import ExecutionContext
 from repro.runtime.parallel import WorkerPool, shard_ranges
+from repro.runtime.trace import NULL_TRACER
 from repro.utils.memory import dense_matrix_bytes
 from repro.utils.validation import check_positive_integer, resolve_node_index
 
@@ -190,27 +191,32 @@ def scan_top_pairs(
     pool = WorkerPool.resolve(max_workers)
     v_t = np.ascontiguousarray(factors.v.T)
     u = factors.u
+    tracer = context.tracer if context is not None else NULL_TRACER
 
     def _scan(bounds: tuple[int, int]) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         start, stop = bounds
         return _scan_range(u, v_t, start, stop, k, block_rows, context)
 
-    parts = pool.map(
-        _scan,
-        shard_ranges(n_a, pool.max_workers),
-        context=context,
-        what="top-k pair scan",
-    )
-    if not parts:
-        return []
-    scores = np.concatenate([part[0] for part in parts])
-    rows = np.concatenate([part[1] for part in parts])
-    cols = np.concatenate([part[2] for part in parts])
-    order = _canonical_top_k(scores, rows, cols, k)
-    return [
-        ScoredPair(int(rows[i]), int(cols[i]), float(scores[i]) * score_scale)
-        for i in order
-    ]
+    with tracer.span("topk.scan_pairs") as span:
+        span.set_attribute("k", k)
+        span.set_attribute("rows", n_a)
+        span.set_attribute("cols", n_b)
+        parts = pool.map(
+            _scan,
+            shard_ranges(n_a, pool.max_workers),
+            context=context,
+            what="top-k pair scan",
+        )
+        if not parts:
+            return []
+        scores = np.concatenate([part[0] for part in parts])
+        rows = np.concatenate([part[1] for part in parts])
+        cols = np.concatenate([part[2] for part in parts])
+        order = _canonical_top_k(scores, rows, cols, k)
+        return [
+            ScoredPair(int(rows[i]), int(cols[i]), float(scores[i]) * score_scale)
+            for i in order
+        ]
 
 
 def top_k_pairs(
@@ -321,9 +327,13 @@ def top_k_for_queries(
         (start, min(start + block_rows, rows.size))
         for start in range(0, rows.size, block_rows)
     ]
-    parts = pool.map(
-        _scan_chunk, chunk_bounds, context=context, what="top-k query scan"
-    )
+    tracer = context.tracer if context is not None else NULL_TRACER
+    with tracer.span("topk.query_scan") as span:
+        span.set_attribute("queries", int(rows.size))
+        span.set_attribute("k", k)
+        parts = pool.map(
+            _scan_chunk, chunk_bounds, context=context, what="top-k query scan"
+        )
     results: dict[int, list[ScoredPair]] = {}
     for part in parts:
         for node_a, order, scores in part:

@@ -43,6 +43,7 @@ from repro.graphs.graph import Graph
 from repro.runtime import BudgetExceeded, ExecutionContext
 from repro.runtime.parallel import WorkerPool
 from repro.runtime.resilience import RetryPolicy
+from repro.runtime.trace import NULL_TRACER, NullTracer, Tracer
 from repro.utils.memory import MemoryTracker
 from repro.utils.timing import Stopwatch
 
@@ -160,6 +161,13 @@ class ExperimentConfig:
     context's memory ledger instead of tracemalloc when cells run
     concurrently (tracemalloc is process-global and cannot attribute
     allocations to a cell).
+
+    ``tracer`` threads a :class:`repro.runtime.Tracer` through the sweep:
+    one ``sweep.run`` root span, one ``sweep.cell`` span per cell
+    (attributes: cell key, algorithm, dataset, outcome, attempts, journal
+    replay) stitched under the root even when cells run on worker
+    threads, and the per-cell contexts inherit the tracer so solver and
+    shard spans nest inside their cell.
     """
 
     scale: str = "small"
@@ -170,6 +178,7 @@ class ExperimentConfig:
     retry_policy: RetryPolicy | None = None
     journal: "RunJournal | None" = None
     max_workers: int = 1
+    tracer: "Tracer | None" = None
 
     # k per profile such that 2^k stays well below the scaled |V_B|
     # (paper regime: 2^10 = 1024 << |V_B| = 10,000).  Past that point
@@ -387,6 +396,8 @@ def run_algorithm(
     retry_policy: RetryPolicy | None = None,
     journal: "RunJournal | None" = None,
     track_memory: bool = True,
+    tracer: "Tracer | NullTracer | None" = None,
+    trace_parent=None,
 ) -> RunRecord:
     """Gate, execute, and measure one experiment cell.
 
@@ -409,10 +420,18 @@ def run_algorithm(
     allocations) and reports the cell's memory from its context's
     memory-ledger peak instead; :func:`run_cells` sets this
     automatically when the sweep runs on a worker pool.
+
+    With a ``tracer``, the whole cell — journal replays, every retry
+    attempt, and quarantine — runs inside one ``sweep.cell`` span
+    (attributes: cell key, algorithm, dataset, outcome, attempts,
+    ``replayed``); ``trace_parent`` stitches it under the submitting
+    sweep's root span when cells execute on worker threads.  A
+    quarantined cell additionally logs a ``sweep.quarantined`` event.
     """
     memory_budget = memory_budget or MemoryBudget()
     deadline = deadline or Deadline()
     dataset = dataset or graph_a.name
+    tracer = tracer if tracer is not None else NULL_TRACER
     params = instance_params(graph_a, graph_b, queries_a, queries_b, iterations)
     record_params: dict[str, object] = {
         "n_a": params.n_a,
@@ -424,41 +443,57 @@ def run_algorithm(
         "k": iterations,
     }
     key = cell_key(spec.name, dataset, record_params)
-    if journal is not None:
-        replayed = journal.get(key)
-        if replayed is not None:
-            return replayed
+    with tracer.span("sweep.cell", parent=trace_parent) as cell_span:
+        cell_span.set_attribute("cell", key)
+        cell_span.set_attribute("algorithm", spec.name)
+        cell_span.set_attribute("dataset", dataset)
+        if journal is not None:
+            replayed = journal.get(key)
+            if replayed is not None:
+                cell_span.set_attribute("replayed", True)
+                cell_span.set_attribute("outcome", replayed.outcome.value)
+                return replayed
 
-    max_attempts = retry_policy.max_attempts if retry_policy is not None else 1
-    record: RunRecord | None = None
-    for attempt in range(1, max_attempts + 1):
-        try:
-            record = _execute_cell(
-                spec, graph_a, graph_b, queries_a, queries_b, iterations,
-                memory_budget, deadline, dataset, params, record_params,
-                track_memory=track_memory,
-            )
-        except Exception as exc:
-            if retry_policy is None or not retry_policy.is_transient(exc):
-                raise
-            if attempt >= max_attempts:
-                record = RunRecord(
-                    algorithm=spec.name,
-                    dataset=dataset,
-                    outcome=Outcome.ERROR,
-                    params=dict(record_params),
-                    note=f"quarantined after {attempt} attempts: {exc}",
-                    attempts=attempt,
+        max_attempts = retry_policy.max_attempts if retry_policy is not None else 1
+        record: RunRecord | None = None
+        for attempt in range(1, max_attempts + 1):
+            try:
+                record = _execute_cell(
+                    spec, graph_a, graph_b, queries_a, queries_b, iterations,
+                    memory_budget, deadline, dataset, params, record_params,
+                    track_memory=track_memory, tracer=tracer,
                 )
-                break
-            time.sleep(retry_policy.delay(attempt))
-            continue
-        record.attempts = attempt
-        break
-    assert record is not None
-    if journal is not None:
-        journal.record(key, record)
-    return record
+            except Exception as exc:
+                if retry_policy is None or not retry_policy.is_transient(exc):
+                    raise
+                if attempt >= max_attempts:
+                    record = RunRecord(
+                        algorithm=spec.name,
+                        dataset=dataset,
+                        outcome=Outcome.ERROR,
+                        params=dict(record_params),
+                        note=f"quarantined after {attempt} attempts: {exc}",
+                        attempts=attempt,
+                    )
+                    tracer.event(
+                        "sweep.quarantined",
+                        severity="error",
+                        span=cell_span,
+                        cell=key,
+                        attempts=attempt,
+                        error=str(exc),
+                    )
+                    break
+                time.sleep(retry_policy.delay(attempt))
+                continue
+            record.attempts = attempt
+            break
+        assert record is not None
+        cell_span.set_attribute("outcome", record.outcome.value)
+        cell_span.set_attribute("attempts", record.attempts)
+        if journal is not None:
+            journal.record(key, record)
+        return record
 
 
 def _execute_cell(
@@ -474,6 +509,7 @@ def _execute_cell(
     params: InstanceParams,
     record_params: dict[str, object],
     track_memory: bool = True,
+    tracer: "Tracer | NullTracer | None" = None,
 ) -> RunRecord:
     """One gated, measured attempt (structured vetoes become records)."""
     time_units, space_bytes = predict_cost(spec.cost_model, params)
@@ -501,7 +537,7 @@ def _execute_cell(
 
     stopwatch = Stopwatch()
     context = ExecutionContext(
-        deadline=deadline.arm(), memory=memory_budget.ledger()
+        deadline=deadline.arm(), memory=memory_budget.ledger(), tracer=tracer
     )
     tracker: MemoryTracker | None = None
     try:
@@ -597,21 +633,28 @@ def run_cells(
     """
     pool = WorkerPool.resolve(config.max_workers)
     track_memory = pool.serial or len(tasks) <= 1
+    tracer = config.tracer if config.tracer is not None else NULL_TRACER
 
-    def _run(task: CellTask) -> RunRecord:
-        return run_algorithm(
-            task.spec,
-            task.graph_a,
-            task.graph_b,
-            task.queries_a,
-            task.queries_b,
-            task.iterations,
-            memory_budget=config.memory_budget,
-            deadline=config.deadline,
-            dataset=task.dataset,
-            retry_policy=config.retry_policy,
-            journal=config.journal,
-            track_memory=track_memory,
-        )
+    with tracer.span("sweep.run") as root:
+        root.set_attribute("cells", len(tasks))
+        root.set_attribute("max_workers", pool.max_workers)
 
-    return pool.map(_run, tasks, what="sweep cells")
+        def _run(task: CellTask) -> RunRecord:
+            return run_algorithm(
+                task.spec,
+                task.graph_a,
+                task.graph_b,
+                task.queries_a,
+                task.queries_b,
+                task.iterations,
+                memory_budget=config.memory_budget,
+                deadline=config.deadline,
+                dataset=task.dataset,
+                retry_policy=config.retry_policy,
+                journal=config.journal,
+                track_memory=track_memory,
+                tracer=tracer,
+                trace_parent=root,
+            )
+
+        return pool.map(_run, tasks, what="sweep cells")

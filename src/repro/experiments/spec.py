@@ -48,6 +48,7 @@ from repro.workloads.queries import make_workload
 if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
     from repro.experiments.journal import RunJournal
     from repro.runtime.resilience import RetryPolicy
+    from repro.runtime.trace import Tracer
 
 __all__ = ["ExperimentSpec", "run_spec"]
 
@@ -133,6 +134,7 @@ def run_spec(
     journal: "RunJournal | None" = None,
     retry_policy: "RetryPolicy | None" = None,
     max_workers: int = 1,
+    tracer: "Tracer | None" = None,
 ) -> list[RunRecord]:
     """Expand and execute a spec; returns one record per cell.
 
@@ -144,7 +146,8 @@ def run_spec(
     replayed, the rest executed and persisted immediately);
     ``retry_policy`` retries transient per-cell failures and quarantines
     cells that keep failing; ``max_workers > 1`` executes independent
-    cells concurrently.
+    cells concurrently; ``tracer`` records per-cell spans (see
+    :class:`repro.experiments.runner.ExperimentConfig`).
     """
     config = ExperimentConfig(
         scale=spec.scale,
@@ -155,6 +158,7 @@ def run_spec(
         retry_policy=retry_policy,
         journal=journal,
         max_workers=max_workers,
+        tracer=tracer,
     )
     tasks: list[CellTask] = []
     for dataset in spec.datasets:

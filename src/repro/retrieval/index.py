@@ -11,6 +11,7 @@ always be traced back to its construction parameters.
 from __future__ import annotations
 
 import json
+import time
 from dataclasses import asdict, dataclass
 from pathlib import Path
 
@@ -21,8 +22,9 @@ from repro.core.embeddings import LowRankFactors
 from repro.core.gsim_plus import GSimPlus
 from repro.core.topk import ScoredPair, scan_top_pairs
 from repro.graphs.graph import Graph
-from repro.runtime import ExecutionContext, Metrics
+from repro.runtime import ExecutionContext, Metrics, WorkerPool
 from repro.runtime.errors import CorruptArtifactError
+from repro.runtime.trace import NULL_TRACER
 from repro.runtime.resilience import (
     CheckpointManager,
     atomic_write,
@@ -114,7 +116,9 @@ class GSimIndex:
             initial_factors=initial_factors,
         )
         state = None
-        with context.metrics.time("index.build"):
+        with context.metrics.time("index.build"), context.tracer.span(
+            "index.build", iterations=iterations
+        ):
             for state in solver.iterate(
                 iterations,
                 context=context,
@@ -247,8 +251,25 @@ class GSimIndex:
         queries_b: np.ndarray | list[int],
         context: ExecutionContext | None = None,
     ) -> np.ndarray:
-        """A globally-normalised similarity block."""
-        return self._engine.query(queries_a, queries_b, context=context)
+        """A globally-normalised similarity block.
+
+        With a context, each call records one ``index.query`` span (the
+        result-cell count as an attribute) and its latency in the
+        ``index.query_seconds`` histogram — the per-query p50/p99 any
+        serving deployment steers by.
+        """
+        tracer = context.tracer if context is not None else NULL_TRACER
+        start = time.perf_counter()
+        try:
+            with tracer.span("index.query") as span:
+                block = self._engine.query(queries_a, queries_b, context=context)
+                span.set_attribute("cells", int(block.size))
+                return block
+        finally:
+            if context is not None:
+                context.metrics.observe_histogram(
+                    "index.query_seconds", time.perf_counter() - start
+                )
 
     def top_matches(
         self, node_a: int, k: int = 10, context: ExecutionContext | None = None
@@ -257,7 +278,7 @@ class GSimIndex:
         k = check_positive_integer(k, "k")
         if not (0 <= node_a < self.shape[0]):
             raise IndexError(f"node {node_a} out of range")
-        row = self._engine.query([node_a], np.arange(self.shape[1]), context=context)[0]
+        row = self.query([node_a], np.arange(self.shape[1]), context=context)[0]
         order = np.argsort(-row, kind="stable")[: min(k, row.size)]
         return [
             ScoredPair(node_a=node_a, node_b=int(col), score=float(row[col]))
@@ -272,12 +293,25 @@ class GSimIndex:
     ) -> list[np.ndarray]:
         """Answer many query blocks, optionally across a worker pool.
 
-        Delegates to :meth:`repro.core.batch.BatchQueryEngine.query_many`;
-        results come back in request order for every worker count.
+        Results come back in request order for every worker count.  Each
+        request goes through :meth:`query`, so every block contributes
+        one ``index.query`` span and one ``index.query_seconds``
+        observation; the batch as a whole records an ``index.query_many``
+        span under which worker-shard spans stitch.
         """
-        return self._engine.query_many(
-            requests, max_workers=max_workers, context=context
-        )
+        request_list = list(requests)
+        if isinstance(max_workers, int) and max_workers < 1:
+            max_workers = 1  # historical "0 means serial" tolerance
+        pool = WorkerPool.resolve(max_workers)
+        tracer = context.tracer if context is not None else NULL_TRACER
+        with tracer.span("index.query_many") as span:
+            span.set_attribute("requests", len(request_list))
+            return pool.map(
+                lambda request: self.query(request[0], request[1], context=context),
+                request_list,
+                context=context,
+                what="index query blocks",
+            )
 
     def top_pairs(
         self,
@@ -292,14 +326,17 @@ class GSimIndex:
         matrix); ties break by lowest ``node_a`` then ``node_b``, and the
         result is identical for every ``block_rows`` and ``max_workers``.
         """
-        return scan_top_pairs(
-            self._factors,
-            k,
-            block_rows=block_rows,
-            context=context,
-            max_workers=max_workers,
-            score_scale=1.0 / self._engine.global_norm,
-        )
+        tracer = context.tracer if context is not None else NULL_TRACER
+        with tracer.span("index.top_pairs") as span:
+            span.set_attribute("k", k)
+            return scan_top_pairs(
+                self._factors,
+                k,
+                block_rows=block_rows,
+                context=context,
+                max_workers=max_workers,
+                score_scale=1.0 / self._engine.global_norm,
+            )
 
     def __repr__(self) -> str:
         return (

@@ -12,6 +12,13 @@ The experiment guards (:mod:`repro.experiments.guards`) are thin
 re-exports of :class:`Deadline` / :class:`MemoryBudget`, so predictive
 gating (cost-model OOM/TIMEOUT substitution) and in-loop enforcement
 share one implementation.
+
+Tracing (:mod:`repro.runtime.trace`) rides the same context: attach a
+:class:`Tracer` and every instrumented loop records hierarchical spans
+(per iteration, per worker shard, per query) plus a bounded structured
+event log, exportable as Chrome ``trace_event`` JSON or summarised into
+a hot-path table.  Without one, the shared :data:`NULL_TRACER` keeps the
+hot path allocation-free.
 """
 
 from repro.runtime.budget import (
@@ -30,8 +37,21 @@ from repro.runtime.errors import (
     MemoryBudgetExceeded,
     TransientError,
 )
-from repro.runtime.metrics import Metrics
+from repro.runtime.metrics import (
+    HISTOGRAM_BUCKETS,
+    Metrics,
+    TimerReading,
+    histogram_bucket_bounds,
+)
 from repro.runtime.parallel import WorkerPool, shard_ranges, shard_rows_by_nnz
+from repro.runtime.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    render_trace_summary,
+    summarize_trace,
+)
 from repro.runtime.resilience import (
     Checkpoint,
     CheckpointManager,
@@ -52,17 +72,26 @@ __all__ = [
     "DeadlineExceeded",
     "ExecutionContext",
     "FaultInjector",
+    "HISTOGRAM_BUCKETS",
     "InjectedFault",
     "MemoryBudget",
     "MemoryBudgetExceeded",
     "MemoryLedger",
     "Metrics",
+    "NULL_TRACER",
+    "NullTracer",
     "RetryPolicy",
+    "Span",
+    "TimerReading",
+    "Tracer",
     "TransientError",
     "WallClockDeadline",
     "WorkerPool",
     "atomic_write",
     "content_checksum",
+    "histogram_bucket_bounds",
+    "render_trace_summary",
     "shard_ranges",
     "shard_rows_by_nnz",
+    "summarize_trace",
 ]

@@ -31,6 +31,7 @@ from typing import Any
 from repro.runtime.budget import MemoryLedger, WallClockDeadline
 from repro.runtime.errors import Cancelled, DeadlineExceeded, MemoryBudgetExceeded
 from repro.runtime.metrics import Metrics
+from repro.runtime.trace import NULL_TRACER, NullTracer, Tracer
 
 __all__ = ["CancellationToken", "ExecutionContext"]
 
@@ -85,6 +86,12 @@ class ExecutionContext:
         anything with an ``on_checkpoint(what)`` method) consulted at
         every :meth:`checkpoint`, so tests can deterministically kill a
         run at its *n*-th checkpoint and assert recovery.
+    tracer:
+        An optional :class:`repro.runtime.trace.Tracer`.  Instrumented
+        loops open hierarchical spans on it (per iteration, per shard,
+        per query); when omitted it defaults to the shared
+        :data:`repro.runtime.trace.NULL_TRACER`, whose no-op spans keep
+        the untraced path allocation-free.
 
     Examples
     --------
@@ -95,7 +102,14 @@ class ExecutionContext:
     1.0
     """
 
-    __slots__ = ("deadline", "memory", "cancellation", "metrics", "fault_injector")
+    __slots__ = (
+        "deadline",
+        "memory",
+        "cancellation",
+        "metrics",
+        "fault_injector",
+        "tracer",
+    )
 
     def __init__(
         self,
@@ -104,12 +118,14 @@ class ExecutionContext:
         cancellation: CancellationToken | None = None,
         metrics: Metrics | None = None,
         fault_injector: "Any | None" = None,
+        tracer: "Tracer | NullTracer | None" = None,
     ) -> None:
         self.deadline = deadline
         self.memory = memory
         self.cancellation = cancellation
         self.metrics = metrics if metrics is not None else Metrics()
         self.fault_injector = fault_injector
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     @classmethod
     def start(
@@ -119,6 +135,7 @@ class ExecutionContext:
         cancellation: CancellationToken | None = None,
         metrics: Metrics | None = None,
         fault_injector: "Any | None" = None,
+        tracer: "Tracer | NullTracer | None" = None,
     ) -> "ExecutionContext":
         """Arm a context from plain limits (the common construction)."""
         deadline = (
@@ -137,6 +154,7 @@ class ExecutionContext:
             cancellation=cancellation,
             metrics=metrics,
             fault_injector=fault_injector,
+            tracer=tracer,
         )
 
     # ------------------------------------------------------------------

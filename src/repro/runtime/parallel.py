@@ -25,7 +25,12 @@ Cooperation with :class:`repro.runtime.ExecutionContext`:
   snapshot shows how much work ran under the pool;
 * budget breaches raised inside a worker surface to the caller exactly
   as the serial path would raise them — the first failing shard in
-  submission order wins, and queued shards are skipped.
+  submission order wins, and queued shards are skipped;
+* when the context carries a :class:`repro.runtime.trace.Tracer`, every
+  shard records a ``parallel.shard`` span parented to the span that was
+  open in the *submitting* thread at :meth:`WorkerPool.map` time, so
+  worker-thread spans stitch under their logical parent in the exported
+  trace rather than floating as roots.
 
 Determinism: :meth:`WorkerPool.map` returns results in submission order
 regardless of completion order, so any shard decomposition whose merge
@@ -44,6 +49,7 @@ from typing import Callable, Iterable, Sequence, TypeVar
 import numpy as np
 
 from repro.runtime.context import ExecutionContext
+from repro.runtime.trace import NULL_TRACER
 
 __all__ = ["WorkerPool", "shard_ranges", "shard_rows_by_nnz"]
 
@@ -176,20 +182,28 @@ class WorkerPool:
         skipped.
         """
         work: Sequence[T] = list(items)
+        tracer = context.tracer if context is not None else NULL_TRACER
+        # Captured in the submitting thread: worker-thread shard spans
+        # stitch under the span that submitted them, not under whatever
+        # happens to be open on the worker's own stack.
+        parent = tracer.current_span()
         if context is not None:
             context.checkpoint(what)
             context.metrics.record_max("parallel.workers", self.max_workers)
         if not work:
             return []
         if self.serial or len(work) == 1:
-            return [self._run_shard(fn, item, context, what) for item in work]
+            return [
+                self._run_shard(fn, item, context, what, tracer, parent)
+                for item in work
+            ]
         abort = threading.Event()
 
         def _guarded(item: T) -> R:
             if abort.is_set():
                 return _SKIPPED  # type: ignore[return-value]
             try:
-                return self._run_shard(fn, item, context, what)
+                return self._run_shard(fn, item, context, what, tracer, parent)
             except BaseException:
                 abort.set()
                 raise
@@ -217,13 +231,17 @@ class WorkerPool:
         item: T,
         context: ExecutionContext | None,
         what: str,
+        tracer=NULL_TRACER,
+        parent=None,
     ) -> R:
         if context is None:
             return fn(item)
         context.checkpoint(what)
         start = time.perf_counter()
         try:
-            return fn(item)
+            with tracer.span("parallel.shard", parent=parent) as span:
+                span.set_attribute("what", what)
+                return fn(item)
         finally:
             context.metrics.add_time(
                 "parallel.shard_seconds", time.perf_counter() - start

@@ -64,9 +64,10 @@ class TestMetrics:
             pass
         with metrics.time("block"):
             pass
-        snap = metrics.snapshot()
-        assert snap["timers"]["block"]["calls"] == 2
-        assert snap["timers"]["block"]["seconds"] >= 0.0
+        reading = metrics.timer("block")
+        assert reading.calls == 2
+        assert reading.seconds >= 0.0
+        assert metrics.timer("never") == (0.0, 0)
 
     def test_gauges_and_record_max(self):
         metrics = Metrics()
@@ -109,7 +110,8 @@ class TestMetrics:
         assert snap["counters"]["calls"] == 5
         assert snap["gauges"]["peak"] == 9
         assert snap["series"]["w"] == [1, 2]
-        assert snap["timers"]["t"]["calls"] == 2
+        assert first.timer("t").calls == 2
+        assert first.timer("t").seconds == pytest.approx(0.75)
 
     def test_thread_safety_no_lost_increments(self):
         metrics = Metrics()
