@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast bench bench-all figures accuracy examples all-checks
+.PHONY: install test test-fast bench bench-all bench-compression figures accuracy examples all-checks
 
 # Pin BLAS thread pools so benchmark numbers isolate the worker-pool
 # sharding from library-internal threading (see docs/usage.md).
@@ -12,6 +12,10 @@ BENCH_ENV = OMP_NUM_THREADS=1 OPENBLAS_NUM_THREADS=1 MKL_NUM_THREADS=1 PYTHONPAT
 # `make bench BENCH_OUT=elsewhere.json`.  Defaults under results/ so a
 # bench run never dirties the repo root.
 BENCH_OUT ?= results/BENCH_core.json
+
+# Where `make bench-compression` writes the exact-vs-compressed
+# accuracy/speed curves (committed next to the core bench artifact).
+BENCH_COMPRESSION_OUT ?= results/BENCH_compression.json
 
 install:
 	$(PYTHON) -m pip install -e '.[dev]'
@@ -32,6 +36,10 @@ bench:
 
 bench-all:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-compression:
+	mkdir -p $(dir $(BENCH_COMPRESSION_OUT))
+	$(BENCH_ENV) $(PYTHON) benchmarks/compression_sweep.py $(BENCH_COMPRESSION_OUT)
 
 figures:
 	for fig in fig2 fig3 fig4 fig5 fig6 fig7 fig8; do \

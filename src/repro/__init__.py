@@ -30,6 +30,7 @@ from repro.core import (
     GSimPlus,
     GSimPlusResult,
     LowRankFactors,
+    TruncationInfo,
     error_bound,
     gsim_plus,
     iterate_to_convergence,
@@ -56,6 +57,7 @@ __all__ = [
     "Graph",
     "LowRankFactors",
     "Metrics",
+    "TruncationInfo",
     "__version__",
     "error_bound",
     "gsim",

@@ -155,6 +155,26 @@ def _build_parser() -> argparse.ArgumentParser:
             help="print a per-span-name total/self-time table after the run",
         )
 
+    def _add_precision(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--precision",
+            default="float64",
+            choices=("float64", "float32"),
+            help="factor dtype for GSim+: float64 is the exact default, "
+            "float32 halves memory bandwidth on the SpMM / scan hot "
+            "loops (default: float64)",
+        )
+        sub.add_argument(
+            "--recompress-tol",
+            type=float,
+            default=None,
+            metavar="TOL",
+            help="enable rank-bounded factor recompression between "
+            "doubling steps at relative Frobenius tolerance TOL (e.g. "
+            "1e-8); width is then bounded by numerical rank instead of "
+            "2^k (default: off — exact doubling)",
+        )
+
     def _add_workers(sub: argparse.ArgumentParser) -> None:
         sub.add_argument(
             "--workers",
@@ -173,6 +193,7 @@ def _build_parser() -> argparse.ArgumentParser:
         _add_trace(sub)
         _add_resilience(sub)
         _add_workers(sub)
+        _add_precision(sub)
         if name in ("fig3", "fig4", "fig5", "fig7", "fig8"):
             sub.add_argument("--dataset", default="EE", help="dataset key")
 
@@ -198,6 +219,7 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_trace(everything)
     _add_resilience(everything)
     _add_workers(everything)
+    _add_precision(everything)
 
     topk = subparsers.add_parser(
         "topk", help="retrieve the k most similar cross-graph pairs"
@@ -206,6 +228,7 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_metrics(topk)
     _add_trace(topk)
     _add_workers(topk)
+    _add_precision(topk)
     topk.add_argument("--dataset", default="HP", help="dataset key")
     topk.add_argument("--top", type=int, default=10, help="number of pairs")
 
@@ -250,6 +273,7 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_trace(sim)
     _add_resilience(sim)
     _add_workers(sim)
+    _add_precision(sim)
 
     spec = subparsers.add_parser(
         "spec", help="run a declarative experiment from a JSON spec file"
@@ -266,6 +290,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_resilience(spec)
     _add_workers(spec)
+    _add_precision(spec)
     return parser
 
 
@@ -354,6 +379,8 @@ def _run_figure(
         retry_policy=retry_policy,
         max_workers=getattr(args, "workers", 1),
         tracer=tracer,
+        precision=getattr(args, "precision", "float64"),
+        recompress_tol=getattr(args, "recompress_tol", None),
     )
     if args.iterations is None:
         config = ExperimentConfig.for_scale(args.scale, seed=args.seed, **guards)
@@ -472,6 +499,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         pairs = top_k_pairs(
             graph_a, graph_b, args.top, iterations=iterations, context=context,
             max_workers=args.workers,
+            precision=args.precision, recompress_tol=args.recompress_tol,
         )
         print(f"top-{args.top} pairs on {graph_a.name} (K={iterations}):")
         for pair in pairs:
@@ -519,6 +547,8 @@ def main(argv: Sequence[str] | None = None) -> int:
                 return top_k_pairs(
                     graph_a, graph_b, args.top, iterations=args.iterations,
                     context=context, max_workers=args.workers,
+                    precision=args.precision,
+                    recompress_tol=args.recompress_tol,
                 )
 
             if retry_policy is not None:
@@ -548,6 +578,8 @@ def main(argv: Sequence[str] | None = None) -> int:
                 checkpoints=checkpoints,
                 resume_from=resume_from,
                 max_workers=args.workers,
+                precision=args.precision,
+                recompress_tol=args.recompress_tol,
             )
 
         resume_from = {"manager": checkpoints if args.resume else None}
@@ -581,6 +613,16 @@ def main(argv: Sequence[str] | None = None) -> int:
         journal, retry_policy = _resilience(args, "spec")
         tracer = _make_tracer(args)
         spec = ExperimentSpec.from_json(args.spec_path)
+        if args.precision != "float64" or args.recompress_tol is not None:
+            # CLI flags override the spec file's precision policy.
+            import dataclasses
+
+            overrides = {}
+            if args.precision != "float64":
+                overrides["precision"] = args.precision
+            if args.recompress_tol is not None:
+                overrides["recompress_tol"] = args.recompress_tol
+            spec = dataclasses.replace(spec, **overrides)
         records = run_spec(
             spec, journal=journal, retry_policy=retry_policy,
             max_workers=args.workers, tracer=tracer,

@@ -14,7 +14,7 @@ Public surface:
 
 from repro.core.complexity import COST_MODELS, CostModel, predict_cost
 from repro.core.convergence import ConvergenceReport, iterate_to_convergence
-from repro.core.embeddings import LowRankFactors
+from repro.core.embeddings import LowRankFactors, TruncationInfo
 from repro.core.error_bound import (
     error_bound,
     exact_similarity_spectral,
@@ -33,6 +33,7 @@ __all__ = [
     "GSimPlusResult",
     "LowRankFactors",
     "ScoredPair",
+    "TruncationInfo",
     "error_bound",
     "exact_similarity_spectral",
     "gsim_plus",

@@ -152,7 +152,8 @@ class BatchQueryEngine:
                     context.checkpoint(f"stream_rows block at row {start}")
                     context.release(charged)
                     charged = 0
-                    block_bytes = (stop - start) * n_cols * 8
+                    itemsize = self._factors.dtype.itemsize
+                    block_bytes = (stop - start) * n_cols * itemsize
                     context.charge(block_bytes, "stream_rows block")
                     charged = block_bytes
                 block = (self._factors.u[start:stop] @ v_t) / self._global_norm

@@ -3,13 +3,35 @@
 The paper's key data structure is the pair of slender factor matrices
 ``U (n_A x w)`` and ``V (n_B x w)`` representing the unnormalised similarity
 ``Z = U @ V.T`` (footnote 1 of the paper).  This module packages that pair
-together with a scalar log-scale used to keep float64 magnitudes bounded
+together with a scalar log-scale used to keep float magnitudes bounded
 over many iterations (DESIGN.md §7): the represented matrix is
 
     Z = exp(log_scale) * U @ V.T
 
 Scalar rescaling commutes with the final Frobenius normalisation, so all
 similarity outputs are unaffected by it.
+
+First-class representation
+--------------------------
+:class:`LowRankFactors` is the object every layer of the system holds,
+persists, or scans — the solver iterates it, checkpoints snapshot it, the
+serialization/index artifacts round-trip it, and the batch/top-k kernels
+scan it.  Two policies are therefore explicit attributes rather than
+implicit array properties:
+
+* **Precision** — the factor dtype is restricted to ``float64`` (exact
+  default) or ``float32`` (opt-in fast path: half the memory bandwidth on
+  the SpMM and scan hot loops).  Construction never silently changes a
+  supported dtype; mixed or unsupported inputs promote to ``float64``.
+  :attr:`precision` reports the policy as a string, :meth:`astype`
+  converts between the two.
+* **Truncation** — :meth:`recompressed` bounds the width by *numerical
+  rank*: a QR of each factor, an SVD of the small core ``R_U R_V^T``, and
+  a truncation keeping the smallest rank whose discarded spectral energy
+  stays below a relative tolerance.  The resulting object carries a
+  :class:`TruncationInfo` record (retained rank, discarded energy,
+  effective tolerance) so metrics, traces, and persisted artifacts can
+  report how lossy the representation is.
 
 Everything that can be computed without materialising ``U @ V.T`` is: the
 Frobenius norm uses the Gram-trick
@@ -21,12 +43,73 @@ both ``O((n_A + n_B) w^2)`` instead of ``O(n_A n_B w)``.
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.utils.validation import resolve_node_index
 
-__all__ = ["LowRankFactors"]
+__all__ = ["LowRankFactors", "TruncationInfo"]
+
+# The two dtypes the precision policy admits.  Anything else (ints,
+# float16, mixed pairs) promotes to the exact default.
+_SUPPORTED_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+
+
+def _resolve_dtype(requested: "np.dtype | str | type | None") -> np.dtype | None:
+    """Normalise a user-supplied precision to one of the supported dtypes."""
+    if requested is None:
+        return None
+    dtype = np.dtype(requested)
+    if dtype not in _SUPPORTED_DTYPES:
+        raise ValueError(
+            f"unsupported factor dtype {dtype}; the precision policy admits "
+            "float32 and float64 only"
+        )
+    return dtype
+
+
+@dataclass(frozen=True)
+class TruncationInfo:
+    """Metadata of one rank-bounded recompression.
+
+    Attributes
+    ----------
+    retained_rank:
+        Width kept after truncation (the numerical rank at ``tolerance``).
+    discarded_rank:
+        Number of singular directions dropped.
+    discarded_energy:
+        Relative Frobenius error introduced:
+        ``||Z - Z_r||_F / ||Z||_F = sqrt(sum_{i>r} s_i^2 / sum_i s_i^2)``.
+        Always ``<= tolerance`` by construction.
+    tolerance:
+        The relative tolerance the truncation was asked to respect.
+    """
+
+    retained_rank: int
+    discarded_rank: int
+    discarded_energy: float
+    tolerance: float
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (for artifacts and checkpoint meta)."""
+        return {
+            "retained_rank": self.retained_rank,
+            "discarded_rank": self.discarded_rank,
+            "discarded_energy": self.discarded_energy,
+            "tolerance": self.tolerance,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "TruncationInfo":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            retained_rank=int(raw["retained_rank"]),
+            discarded_rank=int(raw["discarded_rank"]),
+            discarded_energy=float(raw["discarded_energy"]),
+            tolerance=float(raw["tolerance"]),
+        )
 
 
 class LowRankFactors:
@@ -40,27 +123,51 @@ class LowRankFactors:
         Right factor, shape ``(n_cols, width)``.
     log_scale:
         Natural log of the positive scalar multiplier (default 0 = 1.0).
+    dtype:
+        Explicit precision policy: ``float32`` or ``float64``.  When
+        omitted, a matching supported dtype shared by ``u`` and ``v`` is
+        preserved; anything else promotes to ``float64`` (the historical
+        behaviour, so integer or list inputs still become exact floats).
+    truncation:
+        Optional :class:`TruncationInfo` describing how these factors
+        were produced; carried along by :meth:`rescaled` / :meth:`astype`
+        and recorded by persistence layers.
 
-    The constructor copies nothing; callers hand over ownership of the
-    arrays.
+    The constructor copies nothing when dtypes already match; callers
+    hand over ownership of the arrays.
 
     Examples
     --------
     >>> import numpy as np
     >>> factors = LowRankFactors(np.ones((3, 1)), 2.0 * np.ones((4, 1)))
-    >>> factors.shape, factors.width
-    ((3, 4), 1)
+    >>> factors.shape, factors.width, factors.precision
+    ((3, 4), 1, 'float64')
     >>> round(factors.frobenius_norm(), 6)   # ||2 * ones(3x4)||_F
     6.928203
     >>> factors.query_block([0], [1, 2])
     array([[2., 2.]])
     """
 
-    __slots__ = ("u", "v", "log_scale")
+    __slots__ = ("u", "v", "log_scale", "truncation")
 
-    def __init__(self, u: np.ndarray, v: np.ndarray, log_scale: float = 0.0) -> None:
-        u = np.atleast_2d(np.asarray(u, dtype=np.float64))
-        v = np.atleast_2d(np.asarray(v, dtype=np.float64))
+    def __init__(
+        self,
+        u: np.ndarray,
+        v: np.ndarray,
+        log_scale: float = 0.0,
+        dtype: "np.dtype | str | type | None" = None,
+        truncation: TruncationInfo | None = None,
+    ) -> None:
+        wanted = _resolve_dtype(dtype)
+        u = np.atleast_2d(np.asarray(u))
+        v = np.atleast_2d(np.asarray(v))
+        if wanted is None:
+            if u.dtype == v.dtype and u.dtype in _SUPPORTED_DTYPES:
+                wanted = u.dtype
+            else:
+                wanted = np.dtype(np.float64)
+        u = np.asarray(u, dtype=wanted)
+        v = np.asarray(v, dtype=wanted)
         if u.ndim != 2 or v.ndim != 2:
             raise ValueError("factors must be 2-D arrays")
         if u.shape[1] != v.shape[1]:
@@ -71,19 +178,26 @@ class LowRankFactors:
         self.u = u
         self.v = v
         self.log_scale = float(log_scale)
+        self.truncation = truncation
 
     # ------------------------------------------------------------------
     # Constructors
     # ------------------------------------------------------------------
     @classmethod
-    def ones(cls, n_rows: int, n_cols: int) -> "LowRankFactors":
+    def ones(
+        cls,
+        n_rows: int,
+        n_cols: int,
+        dtype: "np.dtype | str | type | None" = None,
+    ) -> "LowRankFactors":
         """The rank-1 all-ones matrix ``1_{n_rows} 1_{n_cols}^T`` (= Z_0)."""
         if n_rows < 1 or n_cols < 1:
             raise ValueError("dimensions must be positive")
-        return cls(np.ones((n_rows, 1)), np.ones((n_cols, 1)))
+        wanted = _resolve_dtype(dtype) or np.dtype(np.float64)
+        return cls(np.ones((n_rows, 1), dtype=wanted), np.ones((n_cols, 1), dtype=wanted))
 
     # ------------------------------------------------------------------
-    # Shape
+    # Shape and policy
     # ------------------------------------------------------------------
     @property
     def shape(self) -> tuple[int, int]:
@@ -96,14 +210,40 @@ class LowRankFactors:
         return self.u.shape[1]
 
     @property
+    def dtype(self) -> np.dtype:
+        """The factor dtype (``float32`` or ``float64``)."""
+        return self.u.dtype
+
+    @property
+    def precision(self) -> str:
+        """The precision policy as a string: ``'float32'`` or ``'float64'``."""
+        return self.u.dtype.name
+
+    @property
     def scale(self) -> float:
         """The scalar multiplier ``exp(log_scale)`` (may overflow for huge
         log_scale; use :attr:`log_scale` for reporting in that regime)."""
         return math.exp(self.log_scale)
 
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the two factor arrays (for ledger charging)."""
+        return self.u.nbytes + self.v.nbytes
+
     def memory_bytes(self) -> int:
         """Bytes held by the two factor arrays."""
-        return self.u.nbytes + self.v.nbytes
+        return self.nbytes
+
+    def astype(self, dtype: "np.dtype | str | type") -> "LowRankFactors":
+        """A copy of these factors under the given precision policy."""
+        wanted = _resolve_dtype(dtype)
+        assert wanted is not None
+        return LowRankFactors(
+            self.u.astype(wanted, copy=True),
+            self.v.astype(wanted, copy=True),
+            self.log_scale,
+            truncation=self.truncation,
+        )
 
     # ------------------------------------------------------------------
     # Factored algebra (never materialises U @ V.T)
@@ -113,10 +253,13 @@ class LowRankFactors:
 
         With ``include_scale=False`` the scalar multiplier is ignored,
         which is what the final normalisation step needs (the scale cancels
-        there anyway).
+        there anyway).  Gram accumulation happens in float64 regardless of
+        the factor precision, so the norm is stable on the float32 path.
         """
-        gram_u = self.u.T @ self.u
-        gram_v = self.v.T @ self.v
+        u = self.u if self.u.dtype == np.float64 else self.u.astype(np.float64)
+        v = self.v if self.v.dtype == np.float64 else self.v.astype(np.float64)
+        gram_u = u.T @ u
+        gram_v = v.T @ v
         squared = float(np.sum(gram_u * gram_v))
         # Tiny negatives can appear from rounding; clamp.
         norm = math.sqrt(max(squared, 0.0))
@@ -194,16 +337,21 @@ class LowRankFactors:
 
         Divides each factor by its max absolute entry and folds the product
         of the two divisors into ``log_scale``.  Applied once per iteration
-        by the solver to keep float64 in range over hundreds of iterations.
+        by the solver to keep the float range bounded over hundreds of
+        iterations.
         """
         max_u = float(np.abs(self.u).max(initial=0.0))
         max_v = float(np.abs(self.v).max(initial=0.0))
         if max_u == 0.0 or max_v == 0.0:
-            return LowRankFactors(self.u.copy(), self.v.copy(), self.log_scale)
+            return LowRankFactors(
+                self.u.copy(), self.v.copy(), self.log_scale,
+                truncation=self.truncation,
+            )
         return LowRankFactors(
             self.u / max_u,
             self.v / max_v,
             self.log_scale + math.log(max_u) + math.log(max_v),
+            truncation=self.truncation,
         )
 
     def compressed(self) -> "LowRankFactors":
@@ -211,21 +359,113 @@ class LowRankFactors:
 
         Uses a thin QR of the wider factor to fold redundant columns into
         the other factor: ``U V^T = Q_U (V R_U^T)^T``.  Exact up to float
-        rounding; used by the ``qr-compress`` rank-cap ablation.
+        rounding; used by the ``qr-compress`` rank-cap ablation.  For the
+        lossy, tolerance-driven variant see :meth:`recompressed`.
         """
         n_rows, n_cols = self.shape
         target = min(n_rows, n_cols)
         if self.width <= target:
-            return LowRankFactors(self.u.copy(), self.v.copy(), self.log_scale)
+            return LowRankFactors(
+                self.u.copy(), self.v.copy(), self.log_scale,
+                truncation=self.truncation,
+            )
         if n_rows <= n_cols:
             # Compress through the U side: U = Q R, new U = Q (n_rows x n_rows).
             q, r = np.linalg.qr(self.u)
-            return LowRankFactors(q, self.v @ r.T, self.log_scale)
+            return LowRankFactors(
+                q, self.v @ r.T, self.log_scale, truncation=self.truncation
+            )
         q, r = np.linalg.qr(self.v)
-        return LowRankFactors(self.u @ r.T, q, self.log_scale)
+        return LowRankFactors(
+            self.u @ r.T, q, self.log_scale, truncation=self.truncation
+        )
+
+    def recompressed(
+        self, tol: float, max_rank: int | None = None
+    ) -> "LowRankFactors":
+        """Truncate the width to the numerical rank at relative tolerance
+        ``tol``.
+
+        The machinery is the orthogonalised truncation of the low-rank
+        SimRank line of work (and of the GSVD baseline): thin QR of each
+        factor, SVD of the small ``w x w`` core ``R_U R_V^T``, and a cut
+        keeping the smallest rank ``r`` whose discarded spectral energy
+        satisfies ``sum_{i>r} s_i^2 <= tol^2 * sum_i s_i^2`` — i.e. the
+        truncation error is at most ``tol`` *relative to* ``||Z||_F``:
+
+            ||Z - Z_r||_F <= tol * ||Z||_F.
+
+        Because GSim+ normalises by the Frobenius norm at the end, a
+        per-iteration recompression at tolerance ``tol`` perturbs the
+        final normalised similarity by at most ~``K * tol`` over ``K``
+        iterations (first order) — the solver keeps this far below the
+        Theorem 4.2 spectral bound by default.
+
+        Cost: ``O((n_rows + n_cols) w^2 + w^3)`` — the same shape as one
+        doubling step, so recompressing every iteration keeps deep
+        iterations at ~constant cost per step instead of the exponential
+        ``2^k`` schedule.
+
+        Returns a new object in the same precision, carrying a
+        :class:`TruncationInfo` record; ``max_rank`` optionally caps the
+        retained rank regardless of tolerance.
+
+        Examples
+        --------
+        >>> import numpy as np
+        >>> rng = np.random.default_rng(0)
+        >>> base = rng.normal(size=(20, 2))
+        >>> # Width 6 but numerical rank 2: columns are linear combos.
+        >>> mix = rng.normal(size=(2, 6))
+        >>> factors = LowRankFactors(base @ mix, rng.normal(size=(15, 6)))
+        >>> compact = factors.recompressed(tol=1e-10)
+        >>> compact.width
+        2
+        >>> float(np.abs(compact.materialize() - factors.materialize()).max()) < 1e-9
+        True
+        """
+        if not (0.0 < tol < 1.0):
+            raise ValueError(f"tol must be in (0, 1), got {tol}")
+        if max_rank is not None and max_rank < 1:
+            raise ValueError(f"max_rank must be >= 1, got {max_rank}")
+        q_u, r_u = np.linalg.qr(self.u)
+        q_v, r_v = np.linalg.qr(self.v)
+        core = r_u @ r_v.T
+        core_u, sigma, core_vt = np.linalg.svd(core, full_matrices=False)
+        # Energy accounting in float64 even on the float32 path, so the
+        # cut decision is never dominated by accumulation noise.
+        s2 = np.asarray(sigma, dtype=np.float64) ** 2
+        total = float(s2.sum())
+        width = self.width
+        if total == 0.0:
+            rank = 1
+            discarded = 0.0
+        else:
+            # tail[i] = sum_{j >= i} s_j^2, with tail[width] = 0.
+            tail = np.concatenate([np.cumsum(s2[::-1])[::-1], [0.0]])
+            budget = (tol * tol) * total
+            rank = int(np.argmax(tail <= budget))
+            rank = max(rank, 1)
+            if max_rank is not None:
+                rank = min(rank, max_rank)
+            discarded = math.sqrt(max(float(tail[rank]), 0.0) / total)
+        rank = min(rank, width)
+        # Split the singular values symmetrically so both factors stay
+        # well-conditioned (the solver's per-step rescale sees magnitudes
+        # ~sqrt(s) on each side instead of s on one).
+        root = np.sqrt(sigma[:rank]).astype(self.dtype, copy=False)
+        new_u = q_u @ (core_u[:, :rank] * root)
+        new_v = q_v @ (core_vt[:rank].T * root)
+        info = TruncationInfo(
+            retained_rank=rank,
+            discarded_rank=width - rank,
+            discarded_energy=discarded,
+            tolerance=float(tol),
+        )
+        return LowRankFactors(new_u, new_v, self.log_scale, truncation=info)
 
     def __repr__(self) -> str:
         return (
             f"LowRankFactors(shape={self.shape}, width={self.width}, "
-            f"log_scale={self.log_scale:.3g})"
+            f"precision={self.precision!r}, log_scale={self.log_scale:.3g})"
         )

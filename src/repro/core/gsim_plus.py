@@ -25,6 +25,27 @@ reduction" so its cost never exceeds GSim's.  Three behaviours are offered:
 * ``"none"``: let the width keep doubling (exact but wasteful; exists so
   tests can check the other two match it).
 
+Recompression and precision
+---------------------------
+Most of the doubled width carries negligible spectral energy, so with
+``recompress_tol`` set the solver recompresses the factors *between*
+doubling steps — QR on ``U_k``/``V_k``, SVD of the small core
+``R_U R_V^T``, truncation at the relative tolerance (see
+:meth:`repro.core.embeddings.LowRankFactors.recompressed`) — bounding the
+width by numerical rank instead of the ``2^k`` schedule.  Per-iteration
+truncation at tolerance ``tol`` perturbs the final normalised similarity
+by at most ~``K * tol`` (first order), which the default
+:data:`DEFAULT_RECOMPRESS_TOL` keeps far below the Theorem 4.2 spectral
+bound.  With recompression active the dense rank-cap trigger is keyed on
+the *numerical rank* (the recompressed width), so the fallback only
+engages when the similarity genuinely has no slender representation.
+
+``precision`` selects the factor dtype: ``"float64"`` (exact default —
+bit-identical to the historical behaviour) or ``"float32"`` (opt-in
+iterate/scan fast path: half the memory traffic through the SpMM and
+top-k hot loops, at ~1e-6 relative error).  The policy is an explicit
+attribute of the factors and is preserved by checkpoints and artifacts.
+
 Normalisation
 -------------
 Algorithm 1 (lines 6-7) normalises the *extracted query block* by the
@@ -61,7 +82,7 @@ from typing import Callable, Iterator
 import numpy as np
 import scipy.sparse as sp
 
-from repro.core.embeddings import LowRankFactors
+from repro.core.embeddings import LowRankFactors, TruncationInfo
 from repro.graphs.graph import Graph
 from repro.runtime import ExecutionContext
 from repro.runtime.parallel import WorkerPool, shard_rows_by_nnz
@@ -70,10 +91,17 @@ from repro.runtime.trace import NULL_TRACER
 from repro.utils.memory import dense_matrix_bytes
 from repro.utils.validation import check_nonnegative_integer, resolve_node_index
 
-__all__ = ["GSimPlus", "GSimPlusResult", "gsim_plus"]
+__all__ = ["DEFAULT_RECOMPRESS_TOL", "GSimPlus", "GSimPlusResult", "gsim_plus"]
 
 _RANK_CAP_MODES = ("dense", "qr-compress", "none")
 _NORMALIZATIONS = ("block", "global")
+_PRECISIONS = ("float64", "float32")
+
+# Default relative truncation tolerance for --recompress / recompress_tol.
+# Over K <= ~100 iterations the accumulated perturbation K * tol stays
+# below 1e-6 — orders of magnitude under the Theorem 4.2 bound on every
+# bench profile, and well under float32 resolution on that path.
+DEFAULT_RECOMPRESS_TOL = 1e-8
 
 
 def _as_manager(
@@ -102,6 +130,11 @@ class GSimPlusResult:
         log-space because ``Z_K`` grows geometrically.
     used_dense_fallback:
         True when the dense rank-cap hybrid engaged.
+    precision:
+        The factor dtype policy the run used (``"float64"``/``"float32"``).
+    truncation:
+        :class:`repro.core.embeddings.TruncationInfo` of the final
+        factors when recompression was active, else ``None``.
     """
 
     similarity: np.ndarray
@@ -109,6 +142,8 @@ class GSimPlusResult:
     final_width: int
     z_frobenius_log: float
     used_dense_fallback: bool
+    precision: str = "float64"
+    truncation: "TruncationInfo | None" = None
 
 
 @dataclass
@@ -157,6 +192,17 @@ class GSimPlus:
         largest finite magnitude in the same factor — and the event is
         counted in ``gsim_plus.nonfinite_repairs`` instead of the NaN
         poisoning every subsequent iterate.
+    recompress_tol:
+        When set, recompress the factors after every doubling step at
+        this relative tolerance (see module docstring), bounding the
+        width by numerical rank.  ``None`` (default) keeps the exact
+        ``2^k`` schedule — bit-identical to the historical behaviour.
+        Use :data:`DEFAULT_RECOMPRESS_TOL` for a safe accuracy/speed
+        trade-off.
+    precision:
+        ``"float64"`` (exact default) or ``"float32"`` (the opt-in
+        bandwidth-saving iterate path; the sparse operands and every
+        preallocated step buffer follow the policy).
     max_workers:
         Worker count (or a :class:`repro.runtime.WorkerPool`) for the
         row-sharded SpMM steps.  The default ``None`` means serial; with
@@ -185,6 +231,8 @@ class GSimPlus:
         normalization: str = "block",
         initial_factors: tuple[np.ndarray, np.ndarray] | None = None,
         numeric_guard: bool = True,
+        recompress_tol: float | None = None,
+        precision: str = "float64",
         max_workers: "WorkerPool | int | None" = None,
     ) -> None:
         if rank_cap not in _RANK_CAP_MODES:
@@ -195,21 +243,41 @@ class GSimPlus:
             raise ValueError(
                 f"normalization must be one of {_NORMALIZATIONS}, got {normalization!r}"
             )
+        if precision not in _PRECISIONS:
+            raise ValueError(
+                f"precision must be one of {_PRECISIONS}, got {precision!r}"
+            )
+        if recompress_tol is not None and not (0.0 < recompress_tol < 1.0):
+            raise ValueError(
+                f"recompress_tol must be in (0, 1) or None, got {recompress_tol}"
+            )
         if graph_a.num_nodes == 0 or graph_b.num_nodes == 0:
             raise ValueError("both graphs must have at least one node")
         # The four CSR operands of every step are converted exactly once
         # here (``Graph`` caches the transpose, so repeated solvers over
         # the same graph share it); ``gsim_plus.transpose_cache_hits``
-        # counts each step's reuse of the pre-converted A^T/B^T.
+        # counts each step's reuse of the pre-converted A^T/B^T.  Under
+        # the float32 policy the operands are cast once so every SpMM
+        # moves half the bytes.
+        self.precision = precision
+        self._dtype = np.dtype(precision)
         self._a: sp.csr_matrix = graph_a.adjacency
         self._a_t: sp.csr_matrix = graph_a.adjacency_t
         self._b: sp.csr_matrix = graph_b.adjacency
         self._b_t: sp.csr_matrix = graph_b.adjacency_t
+        if self._dtype != np.float64:
+            self._a = self._a.astype(self._dtype)
+            self._a_t = self._a_t.astype(self._dtype)
+            self._b = self._b.astype(self._dtype)
+            self._b_t = self._b_t.astype(self._dtype)
         self.n_a = graph_a.num_nodes
         self.n_b = graph_b.num_nodes
         self.rank_cap = rank_cap
         self.normalization = normalization
         self.numeric_guard = numeric_guard
+        self.recompress_tol = (
+            None if recompress_tol is None else float(recompress_tol)
+        )
         self._pool = WorkerPool.resolve(max_workers)
         # name -> list[(start, stop, csr row slice)], built on first
         # parallel step and reused every iteration thereafter.
@@ -233,10 +301,10 @@ class GSimPlus:
         grows as ``r * 2^k``.
         """
         if initial_factors is None:
-            return LowRankFactors.ones(self.n_a, self.n_b)
+            return LowRankFactors.ones(self.n_a, self.n_b, dtype=self._dtype)
         features_a, features_b = initial_factors
-        features_a = np.atleast_2d(np.asarray(features_a, dtype=np.float64))
-        features_b = np.atleast_2d(np.asarray(features_b, dtype=np.float64))
+        features_a = np.atleast_2d(np.asarray(features_a, dtype=self._dtype))
+        features_b = np.atleast_2d(np.asarray(features_b, dtype=self._dtype))
         if features_a.shape[0] != self.n_a:
             raise ValueError(
                 f"initial F_A has {features_a.shape[0]} rows for a graph "
@@ -354,8 +422,8 @@ class GSimPlus:
         the worker pool when one is configured.
         """
         width = factors.width
-        new_u = np.empty((self.n_a, 2 * width))
-        new_v = np.empty((self.n_b, 2 * width))
+        new_u = np.empty((self.n_a, 2 * width), dtype=factors.dtype)
+        new_v = np.empty((self.n_b, 2 * width), dtype=factors.dtype)
         self._spmm_pair_into(
             "a", "a_t", self._a, self._a_t, factors.u, new_u, context
         )
@@ -368,6 +436,51 @@ class GSimPlus:
             new_u = self._healed(new_u, context)
             new_v = self._healed(new_v, context)
         return LowRankFactors(new_u, new_v, factors.log_scale).rescaled()
+
+    def _recompress(
+        self,
+        factors: LowRankFactors,
+        k: int,
+        context: ExecutionContext | None,
+    ) -> LowRankFactors:
+        """Rank-bound the stepped factors at :attr:`recompress_tol`.
+
+        The QR workspace (two orthonormal factors the same size as the
+        input plus three ``w x w`` core matrices) is charged against the
+        memory ledger for the duration of the decomposition, so budget
+        breaches surface before the allocation instead of as a MemoryError
+        inside LAPACK.  Truncation metadata lands in ``gsim_plus.*``
+        metrics and a ``gsim_plus.recompress`` trace event.
+        """
+        assert self.recompress_tol is not None
+        width = factors.width
+        workspace = factors.nbytes + 3 * width * width * factors.dtype.itemsize
+        if context is not None:
+            context.charge(workspace, f"GSim+ recompression (k={k})")
+        try:
+            compact = factors.recompressed(self.recompress_tol)
+        finally:
+            if context is not None:
+                context.release(workspace)
+        info = compact.truncation
+        assert info is not None
+        if context is not None:
+            context.metrics.increment("gsim_plus.recompressions")
+            context.metrics.observe(
+                "gsim_plus.recompress_rank", info.retained_rank
+            )
+            context.metrics.set_gauge(
+                "gsim_plus.recompress_discarded_energy", info.discarded_energy
+            )
+            context.tracer.event(
+                "gsim_plus.recompress",
+                severity="info",
+                k=k,
+                width_before=width,
+                retained_rank=info.retained_rank,
+                discarded_energy=info.discarded_energy,
+            )
+        return compact
 
     def _step_dense(
         self, z: np.ndarray, context: ExecutionContext | None = None
@@ -424,8 +537,8 @@ class GSimPlus:
         is bit-identical for any worker count.
         """
         z_t = np.ascontiguousarray(z.T)
-        p = np.empty((self.n_a, self.n_b))
-        q = np.empty((self.n_a, self.n_b))
+        p = np.empty((self.n_a, self.n_b), dtype=z.dtype)
+        q = np.empty((self.n_a, self.n_b), dtype=z.dtype)
         stage1: list[tuple[np.ndarray, int, int, sp.csr_matrix]] = []
         for start, stop, shard in self._shards("b"):
             stage1.append((p, start, stop, shard))
@@ -441,7 +554,7 @@ class GSimPlus:
             _run_stage1, stage1, context=context, what="GSim+ dense stage 1"
         )
 
-        updated = np.empty((self.n_a, self.n_b))
+        updated = np.empty((self.n_a, self.n_b), dtype=z.dtype)
         pairs = self._dense_pair_shards()
         self._count_shard_cache(context, 1)
 
@@ -545,10 +658,24 @@ class GSimPlus:
                 dense_z = snapshot.arrays["dense_z"]
                 dense_log = float(snapshot.meta["dense_log"])
             else:
+                snapshot_u = snapshot.arrays["u"]
+                if snapshot_u.dtype != self._dtype:
+                    raise ValueError(
+                        f"checkpoint factors are {snapshot_u.dtype.name} but "
+                        f"this solver's precision policy is {self.precision}; "
+                        "resume with a matching precision= or rebuild from "
+                        "scratch"
+                    )
+                truncation = None
+                if snapshot.meta.get("truncation"):
+                    truncation = TruncationInfo.from_dict(
+                        snapshot.meta["truncation"]
+                    )
                 factors = LowRankFactors(
-                    snapshot.arrays["u"],
+                    snapshot_u,
                     snapshot.arrays["v"],
                     float(snapshot.meta["log_scale"]),
+                    truncation=truncation,
                 )
             if context is not None:
                 context.metrics.increment("gsim_plus.resumed")
@@ -578,6 +705,8 @@ class GSimPlus:
             else:
                 assert factors is not None
                 meta["log_scale"] = factors.log_scale
+                if factors.truncation is not None:
+                    meta["truncation"] = factors.truncation.to_dict()
                 manager.save(k, {"u": factors.u, "v": factors.v}, meta=meta)
             if context is not None:
                 context.metrics.increment("gsim_plus.checkpoints_written")
@@ -585,11 +714,13 @@ class GSimPlus:
         try:
             if context is not None:
                 if factors is not None:
-                    _account(factors.memory_bytes(), "GSim+ initial factors")
+                    _account(factors.nbytes, "GSim+ initial factors")
                     context.metrics.observe("gsim_plus.width", factors.width)
                 else:
                     _account(
-                        2 * dense_matrix_bytes(self.n_a, self.n_b),
+                        2 * dense_matrix_bytes(
+                            self.n_a, self.n_b, self._dtype.itemsize
+                        ),
                         "GSim+ dense rank-cap fallback (resumed)",
                     )
                 context.metrics.observe("gsim_plus.bytes_held", charged)
@@ -611,7 +742,9 @@ class GSimPlus:
                             # one same-sized update temporary per step.
                             if context is not None:
                                 _account(
-                                    2 * dense_matrix_bytes(self.n_a, self.n_b),
+                                    2 * dense_matrix_bytes(
+                                        self.n_a, self.n_b, self._dtype.itemsize
+                                    ),
                                     "GSim+ dense rank-cap fallback",
                                 )
                             tracer.event(
@@ -635,6 +768,11 @@ class GSimPlus:
                             dense_log += log_norm
                         else:
                             factors = self._step_factors(factors, context)
+                            if self.recompress_tol is not None:
+                                factors = self._recompress(factors, k, context)
+                                span.set_attribute(
+                                    "retained_rank", factors.width
+                                )
                             if (
                                 self.rank_cap == "qr-compress"
                                 and factors.width > width_cap
@@ -642,7 +780,7 @@ class GSimPlus:
                                 factors = factors.compressed()
                             if context is not None:
                                 _account(
-                                    factors.memory_bytes(), f"GSim+ factors (k={k})"
+                                    factors.nbytes, f"GSim+ factors (k={k})"
                                 )
                     span.set_attribute(
                         "width",
@@ -673,6 +811,13 @@ class GSimPlus:
                 context.release(charged)
                 charged = 0
 
+    # Fingerprint keys introduced after the v1 checkpoint format; an old
+    # snapshot that predates them implicitly ran with these values.
+    _FINGERPRINT_DEFAULTS: dict[str, object] = {
+        "precision": "float64",
+        "recompress_tol": None,
+    }
+
     def _fingerprint(self) -> dict[str, object]:
         """What a checkpoint must agree on to be resumable by this solver."""
         return {
@@ -681,14 +826,16 @@ class GSimPlus:
             "n_b": self.n_b,
             "rank_cap": self.rank_cap,
             "initial_width": self._initial.width,
+            "precision": self.precision,
+            "recompress_tol": self.recompress_tol,
         }
 
     def _check_fingerprint(self, snapshot: Checkpoint) -> None:
         expected = self._fingerprint()
         mismatched = {
-            key: (snapshot.meta.get(key), value)
+            key: (snapshot.meta.get(key, self._FINGERPRINT_DEFAULTS.get(key)), value)
             for key, value in expected.items()
-            if snapshot.meta.get(key) != value
+            if snapshot.meta.get(key, self._FINGERPRINT_DEFAULTS.get(key)) != value
         }
         if mismatched:
             details = ", ".join(
@@ -782,6 +929,7 @@ class GSimPlus:
         queries_a: np.ndarray,
         queries_b: np.ndarray,
     ) -> GSimPlusResult:
+        truncation: TruncationInfo | None = None
         if state.dense_z is not None:
             block = state.dense_z[np.ix_(queries_a, queries_b)]
             full_norm = float(np.linalg.norm(state.dense_z))
@@ -803,6 +951,7 @@ class GSimPlus:
             norm_unscaled = max(full_norm, np.finfo(float).tiny)
             z_log = float(np.log(norm_unscaled) + state.factors.log_scale)
             used_dense = False
+            truncation = state.factors.truncation
         if self.normalization == "block":
             denominator = float(np.linalg.norm(block))
         else:
@@ -817,6 +966,8 @@ class GSimPlus:
             final_width=final_width,
             z_frobenius_log=z_log,
             used_dense_fallback=used_dense,
+            precision=self.precision,
+            truncation=truncation,
         )
 
 
@@ -834,6 +985,8 @@ def gsim_plus(
     checkpoint_every: int = 1,
     resume_from: CheckpointManager | str | Path | None = None,
     max_workers: "WorkerPool | int | None" = None,
+    recompress_tol: float | None = None,
+    precision: str = "float64",
 ) -> GSimPlusResult:
     """Functional wrapper over :class:`GSimPlus` (Algorithm 1).
 
@@ -842,6 +995,9 @@ def gsim_plus(
     ``initial_factors = (F_A, F_B)`` replaces the all-ones start with the
     content prior ``Z_0 = F_A F_B^T`` (the "content-based similarity"
     adaptation of the paper's introduction) while preserving exactness.
+    ``recompress_tol`` enables rank-bounded recompression between doubling
+    steps (see :meth:`LowRankFactors.recompressed`); ``precision`` selects
+    the iterate dtype (``"float64"`` exact default or ``"float32"``).
 
     Examples
     --------
@@ -859,6 +1015,8 @@ def gsim_plus(
         normalization=normalization,
         initial_factors=initial_factors,
         max_workers=max_workers,
+        recompress_tol=recompress_tol,
+        precision=precision,
     )
     return solver.run(
         iterations,

@@ -7,7 +7,12 @@ GSim+ into an *index*: compute ``U_K / V_K`` once, then serve arbitrary
 
 Format: a single ``.npz`` holding ``u``, ``v``, ``log_scale``, a
 format-version tag (rejected on mismatch so stale indexes fail loudly),
-and — since format version 2 — a SHA-256 content checksum.  Writes are
+since format version 2 a SHA-256 content checksum, and since version 3
+an explicit ``dtype`` tag plus optional truncation metadata (retained
+rank, discarded energy, tolerance) from rank-bounded recompression.
+Version 3 round-trips the factor dtype bit-exactly — a float32 index no
+longer silently doubles in size on save/load — and ``load_factors``
+verifies the stored arrays actually carry the declared dtype.  Writes are
 atomic (sibling temp file + ``os.replace``), so a crash mid-save never
 clobbers a good artifact; loads verify the checksum and raise
 :class:`repro.runtime.errors.CorruptArtifactError` on truncated,
@@ -23,26 +28,43 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.core.embeddings import LowRankFactors
+from repro.core.embeddings import LowRankFactors, TruncationInfo
 from repro.runtime.errors import CorruptArtifactError
 from repro.runtime.resilience import atomic_write, content_checksum
 
 __all__ = ["load_factors", "save_factors"]
 
-# v2 added the content checksum; v1 files still load (unverified).
-_FORMAT_VERSION = 2
-_SUPPORTED_VERSIONS = (1, 2)
+# v2 added the content checksum; v3 added the dtype tag and truncation
+# metadata.  v1/v2 files still load (assumed float64, no truncation).
+_FORMAT_VERSION = 3
+_SUPPORTED_VERSIONS = (1, 2, 3)
 
 
 def save_factors(factors: LowRankFactors, path: str | Path) -> None:
-    """Atomically write ``factors`` to ``path`` as a compressed ``.npz``."""
+    """Atomically write ``factors`` to ``path`` as a compressed ``.npz``.
+
+    The artifact preserves the factor dtype (precision policy) and any
+    truncation metadata left by :meth:`LowRankFactors.recompressed`.
+    """
     path = Path(path)
     content = {
         "u": factors.u,
         "v": factors.v,
         "log_scale": np.float64(factors.log_scale),
         "format_version": np.int64(_FORMAT_VERSION),
+        "dtype": np.str_(factors.dtype.name),
     }
+    if factors.truncation is not None:
+        info = factors.truncation
+        content["truncation"] = np.array(
+            [
+                float(info.retained_rank),
+                float(info.discarded_rank),
+                float(info.discarded_energy),
+                float(info.tolerance),
+            ],
+            dtype=np.float64,
+        )
     digest = content_checksum(content)
     with atomic_write(path) as tmp:
         with open(tmp, "wb") as handle:
@@ -63,7 +85,15 @@ def load_factors(path: str | Path) -> LowRankFactors:
         graphs in that case.
     """
     path = Path(path)
-    wanted = {"u", "v", "log_scale", "format_version", "checksum"}
+    wanted = {
+        "u",
+        "v",
+        "log_scale",
+        "format_version",
+        "checksum",
+        "dtype",
+        "truncation",
+    }
     try:
         with np.load(path, allow_pickle=False) as archive:
             raw = {
@@ -96,4 +126,32 @@ def load_factors(path: str | Path) -> LowRankFactors:
             "corrupt — rebuild it from the source graphs with gsim_plus",
             path=str(path),
         )
-    return LowRankFactors(raw["u"], raw["v"], float(raw["log_scale"]))
+    if "dtype" in raw:
+        declared = np.dtype(str(raw["dtype"]))
+        for name in ("u", "v"):
+            if raw[name].dtype != declared:
+                raise ValueError(
+                    f"{path} declares dtype {declared.name} but array "
+                    f"'{name}' is {raw[name].dtype.name}; the artifact is "
+                    "inconsistent — rebuild it from the source graphs"
+                )
+        dtype = declared
+    else:
+        # v1/v2 artifacts predate the precision policy: float64 only.
+        dtype = np.dtype(np.float64)
+    truncation = None
+    if "truncation" in raw:
+        rank, dropped, energy, tol = (float(x) for x in raw["truncation"])
+        truncation = TruncationInfo(
+            retained_rank=int(rank),
+            discarded_rank=int(dropped),
+            discarded_energy=energy,
+            tolerance=tol,
+        )
+    return LowRankFactors(
+        raw["u"],
+        raw["v"],
+        float(raw["log_scale"]),
+        dtype=dtype,
+        truncation=truncation,
+    )

@@ -62,14 +62,23 @@ def _factors_for(
     iterations: int,
     context: ExecutionContext | None = None,
     max_workers: "WorkerPool | int | None" = None,
+    recompress_tol: float | None = None,
+    precision: str = "float64",
 ) -> LowRankFactors:
     """Run GSim+ and return the final factors (factored regime enforced).
 
     Uses the QR-compressed cap so the representation stays factored even
     past ``2^k >= min(n_A, n_B)`` — the scan below needs U/V, not a dense Z.
+    ``recompress_tol`` / ``precision`` forward to the solver's
+    recompression and precision policies.
     """
     solver = GSimPlus(
-        graph_a, graph_b, rank_cap="qr-compress", max_workers=max_workers
+        graph_a,
+        graph_b,
+        rank_cap="qr-compress",
+        max_workers=max_workers,
+        recompress_tol=recompress_tol,
+        precision=precision,
     )
     state = None
     for state in solver.iterate(iterations, context=context):
@@ -118,13 +127,16 @@ def _scan_range(
     dropped; anything below the k-th score is dominated forever.
     """
     n_b = v_t.shape[1]
+    itemsize = v_t.dtype.itemsize
     best_scores = np.empty(0, dtype=np.float64)
     best_rows = np.empty(0, dtype=np.int64)
     best_cols = np.empty(0, dtype=np.int64)
     threshold = -np.inf
     for block_start in range(start, stop, block_rows):
         block_stop = min(block_start + block_rows, stop)
-        block_bytes = dense_matrix_bytes(block_stop - block_start, n_b)
+        block_bytes = dense_matrix_bytes(
+            block_stop - block_start, n_b, itemsize=itemsize
+        )
         if context is not None:
             context.checkpoint(f"top_k_pairs scan at row {block_start}")
             context.metrics.increment("topk.blocks_scanned")
@@ -227,6 +239,8 @@ def top_k_pairs(
     block_rows: int = 1024,
     context: ExecutionContext | None = None,
     max_workers: "WorkerPool | int | None" = None,
+    recompress_tol: float | None = None,
+    precision: str = "float64",
 ) -> list[ScoredPair]:
     """The ``k`` highest-similarity cross-graph pairs.
 
@@ -249,7 +263,13 @@ def top_k_pairs(
     k = check_positive_integer(k, "k")
     block_rows = check_positive_integer(block_rows, "block_rows")
     factors = _factors_for(
-        graph_a, graph_b, iterations, context=context, max_workers=max_workers
+        graph_a,
+        graph_b,
+        iterations,
+        context=context,
+        max_workers=max_workers,
+        recompress_tol=recompress_tol,
+        precision=precision,
     )
     norm = factors.frobenius_norm(include_scale=False)
     if norm == 0.0:
@@ -273,6 +293,8 @@ def top_k_for_queries(
     block_rows: int = 1024,
     context: ExecutionContext | None = None,
     max_workers: "WorkerPool | int | None" = None,
+    recompress_tol: float | None = None,
+    precision: str = "float64",
 ) -> dict[int, list[ScoredPair]]:
     """For each query node of ``G_A``, its ``k`` best matches in ``G_B``.
 
@@ -285,7 +307,13 @@ def top_k_for_queries(
     k = check_positive_integer(k, "k")
     block_rows = check_positive_integer(block_rows, "block_rows")
     factors = _factors_for(
-        graph_a, graph_b, iterations, context=context, max_workers=max_workers
+        graph_a,
+        graph_b,
+        iterations,
+        context=context,
+        max_workers=max_workers,
+        recompress_tol=recompress_tol,
+        precision=precision,
     )
     rows = resolve_node_index(
         queries_a, factors.shape[0], "queries_a",
@@ -305,7 +333,9 @@ def top_k_for_queries(
     ) -> list[tuple[int, np.ndarray, np.ndarray]]:
         start, stop = bounds
         chunk = rows[start:stop]
-        block_bytes = dense_matrix_bytes(chunk.size, n_b)
+        block_bytes = dense_matrix_bytes(
+            chunk.size, n_b, itemsize=v_t.dtype.itemsize
+        )
         if context is not None:
             context.checkpoint(f"top_k_for_queries scan at query {start}")
             context.metrics.increment("topk.blocks_scanned")

@@ -179,6 +179,21 @@ class ExperimentConfig:
     journal: "RunJournal | None" = None
     max_workers: int = 1
     tracer: "Tracer | None" = None
+    precision: str = "float64"
+    recompress_tol: float | None = None
+
+    def solver_options(self) -> dict[str, object]:
+        """Non-default GSim+ solver knobs, for :func:`run_algorithm`.
+
+        Defaults map to an empty dict so journal cell keys (and
+        measured behaviour) are unchanged for existing sweeps.
+        """
+        options: dict[str, object] = {}
+        if self.precision != "float64":
+            options["precision"] = self.precision
+        if self.recompress_tol is not None:
+            options["recompress_tol"] = self.recompress_tol
+        return options
 
     # k per profile such that 2^k stays well below the scaled |V_B|
     # (paper regime: 2^10 = 1024 << |V_B| = 10,000).  Past that point
@@ -211,6 +226,7 @@ def _run_gsim_plus(
     queries_b: np.ndarray,
     iterations: int,
     context: ExecutionContext | None = None,
+    **solver_options,
 ) -> np.ndarray:
     return gsim_plus(
         graph_a,
@@ -219,6 +235,7 @@ def _run_gsim_plus(
         queries_a=queries_a,
         queries_b=queries_b,
         context=context,
+        **solver_options,
     ).similarity
 
 
@@ -229,6 +246,7 @@ def _run_gsvd(
     queries_b: np.ndarray,
     iterations: int,
     context: ExecutionContext | None = None,
+    **_solver_options,
 ) -> np.ndarray:
     result = gsvd(graph_a, graph_b, iterations=iterations, rank=10, context=context)
     return result.query_block(queries_a, queries_b)
@@ -241,6 +259,7 @@ def _run_gsim(
     queries_b: np.ndarray,
     iterations: int,
     context: ExecutionContext | None = None,
+    **_solver_options,
 ) -> np.ndarray:
     return gsim_partial(
         graph_a, graph_b, queries_a, queries_b, iterations=iterations, context=context
@@ -254,6 +273,7 @@ def _run_structsim(
     queries_b: np.ndarray,
     iterations: int,
     context: ExecutionContext | None = None,
+    **_solver_options,
 ) -> np.ndarray:
     return structsim_query(
         graph_a, graph_b, queries_a, queries_b, levels=iterations, context=context
@@ -267,6 +287,7 @@ def _run_ned(
     queries_b: np.ndarray,
     iterations: int,
     context: ExecutionContext | None = None,
+    **_solver_options,
 ) -> np.ndarray:
     # NED's tree depth plays the role of k; depth 3 already explodes on
     # non-trivial graphs (the point the paper makes), so cap it there and
@@ -285,6 +306,7 @@ def _run_rolesim(
     queries_b: np.ndarray,
     iterations: int,
     context: ExecutionContext | None = None,
+    **_solver_options,
 ) -> np.ndarray:
     # RoleSim converges within a handful of iterations; cap at 3 so the
     # all-pairs loops get a fighting chance on the smallest profile.
@@ -398,8 +420,14 @@ def run_algorithm(
     track_memory: bool = True,
     tracer: "Tracer | NullTracer | None" = None,
     trace_parent=None,
+    solver_options: dict[str, object] | None = None,
 ) -> RunRecord:
     """Gate, execute, and measure one experiment cell.
+
+    ``solver_options`` carries non-default solver knobs (currently
+    GSim+'s ``precision`` / ``recompress_tol``); they fold into the
+    journal cell key so a float32 or recompressed sweep never replays a
+    float64 cell, while default runs keep their historical keys.
 
     Never raises for resource vetoes — those come back as OOM/TIMEOUT
     records, exactly like the crossed-out cells in the paper's figures.
@@ -442,6 +470,8 @@ def run_algorithm(
         "q_b": params.q_b,
         "k": iterations,
     }
+    if solver_options:
+        record_params.update(solver_options)
     key = cell_key(spec.name, dataset, record_params)
     with tracer.span("sweep.cell", parent=trace_parent) as cell_span:
         cell_span.set_attribute("cell", key)
@@ -462,6 +492,7 @@ def run_algorithm(
                     spec, graph_a, graph_b, queries_a, queries_b, iterations,
                     memory_budget, deadline, dataset, params, record_params,
                     track_memory=track_memory, tracer=tracer,
+                    solver_options=solver_options,
                 )
             except Exception as exc:
                 if retry_policy is None or not retry_policy.is_transient(exc):
@@ -510,8 +541,10 @@ def _execute_cell(
     record_params: dict[str, object],
     track_memory: bool = True,
     tracer: "Tracer | NullTracer | None" = None,
+    solver_options: dict[str, object] | None = None,
 ) -> RunRecord:
     """One gated, measured attempt (structured vetoes become records)."""
+    solver_options = solver_options or {}
     time_units, space_bytes = predict_cost(spec.cost_model, params)
     predicted_seconds = time_units / spec.units_per_second
     predicted_bytes = space_bytes * spec.working_set_factor
@@ -546,12 +579,13 @@ def _execute_cell(
                 with stopwatch:
                     spec.run(
                         graph_a, graph_b, queries_a, queries_b, iterations,
-                        context,
+                        context, **solver_options,
                     )
         else:
             with stopwatch:
                 spec.run(
-                    graph_a, graph_b, queries_a, queries_b, iterations, context
+                    graph_a, graph_b, queries_a, queries_b, iterations,
+                    context, **solver_options,
                 )
     except DeadlineExceeded as exc:
         record.outcome = Outcome.TIMEOUT
@@ -639,7 +673,12 @@ def run_cells(
         root.set_attribute("cells", len(tasks))
         root.set_attribute("max_workers", pool.max_workers)
 
+        # Precision / recompression are GSim+ knobs; baseline cells keep
+        # their historical keys (and behaviour) in mixed sweeps.
+        solver_options = config.solver_options()
+
         def _run(task: CellTask) -> RunRecord:
+            cell_options = solver_options if task.spec.name == "GSim+" else None
             return run_algorithm(
                 task.spec,
                 task.graph_a,
@@ -655,6 +694,7 @@ def run_cells(
                 track_memory=track_memory,
                 tracer=tracer,
                 trace_parent=root,
+                solver_options=cell_options,
             )
 
         return pool.map(_run, tasks, what="sweep cells")

@@ -71,10 +71,20 @@ class ExperimentSpec:
     sweep_values: tuple[int, ...] = field(default_factory=tuple)
     memory_budget_mib: float = 256.0
     deadline_seconds: float = 20.0
+    precision: str = "float64"
+    recompress_tol: float | None = None
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("spec needs a name")
+        if self.precision not in ("float64", "float32"):
+            raise ValueError(
+                f"precision must be 'float64' or 'float32', got {self.precision!r}"
+            )
+        if self.recompress_tol is not None and not (0.0 < self.recompress_tol < 1.0):
+            raise ValueError(
+                f"recompress_tol must lie in (0, 1), got {self.recompress_tol!r}"
+            )
         if not self.datasets:
             raise ValueError("spec needs at least one dataset")
         unknown_datasets = [d for d in self.datasets if d.upper() not in DATASETS]
@@ -106,7 +116,8 @@ class ExperimentSpec:
         )
         for key in (
             "scale", "iterations", "query_size", "sample_size", "seed",
-            "memory_budget_mib", "deadline_seconds",
+            "memory_budget_mib", "deadline_seconds", "precision",
+            "recompress_tol",
         ):
             if key in data:
                 kwargs[key] = data.pop(key)
@@ -159,6 +170,8 @@ def run_spec(
         journal=journal,
         max_workers=max_workers,
         tracer=tracer,
+        precision=spec.precision,
+        recompress_tol=spec.recompress_tol,
     )
     tasks: list[CellTask] = []
     for dataset in spec.datasets:

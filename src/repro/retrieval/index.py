@@ -18,7 +18,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.batch import BatchQueryEngine
-from repro.core.embeddings import LowRankFactors
+from repro.core.embeddings import LowRankFactors, TruncationInfo
 from repro.core.gsim_plus import GSimPlus
 from repro.core.topk import ScoredPair, scan_top_pairs
 from repro.graphs.graph import Graph
@@ -34,8 +34,10 @@ from repro.utils.validation import check_positive_integer
 
 __all__ = ["GSimIndex", "IndexMetadata"]
 
-# v2 added ``build_metrics``; older (v1) files load with it defaulted.
-_METADATA_VERSION = 2
+# v2 added ``build_metrics``; v3 added the precision policy and
+# recompression provenance.  Older files load with the new fields
+# defaulted (float64, no recompression).
+_METADATA_VERSION = 3
 
 
 @dataclass(frozen=True)
@@ -52,6 +54,9 @@ class IndexMetadata:
     content_prior: bool
     metadata_version: int = _METADATA_VERSION
     build_metrics: dict | None = None
+    precision: str = "float64"
+    recompress_tol: float | None = None
+    truncation: dict | None = None
 
 
 class GSimIndex:
@@ -91,9 +96,16 @@ class GSimIndex:
         checkpoints: CheckpointManager | str | Path | None = None,
         checkpoint_every: int = 1,
         resume_from: CheckpointManager | str | Path | None = None,
+        recompress_tol: float | None = None,
+        precision: str = "float64",
     ) -> "GSimIndex":
         """Iterate GSim+ (QR-compressed cap, so the result stays factored)
         and wrap the final factors.
+
+        ``recompress_tol`` enables rank-bounded recompression between
+        doubling steps and ``precision`` selects the factor dtype; both
+        are recorded in the metadata so a served score can be traced back
+        to its accuracy/precision envelope.
 
         Build-time counters (spmm calls, per-iteration widths, bytes held)
         are recorded in a fresh :class:`repro.runtime.ExecutionContext`
@@ -114,6 +126,8 @@ class GSimIndex:
             graph_b,
             rank_cap="qr-compress",
             initial_factors=initial_factors,
+            recompress_tol=recompress_tol,
+            precision=precision,
         )
         state = None
         with context.metrics.time("index.build"), context.tracer.span(
@@ -138,6 +152,13 @@ class GSimIndex:
             graph_b_name=graph_b.name,
             content_prior=initial_factors is not None,
             build_metrics=context.metrics.snapshot(),
+            precision=precision,
+            recompress_tol=recompress_tol,
+            truncation=(
+                state.factors.truncation.to_dict()
+                if state.factors.truncation is not None
+                else None
+            ),
         )
         return cls(state.factors, metadata)
 
@@ -157,6 +178,7 @@ class GSimIndex:
             "u": self._factors.u,
             "v": self._factors.v,
             "log_scale": np.float64(self._factors.log_scale),
+            "dtype": np.str_(self._factors.dtype.name),
             "metadata_json": json.dumps(asdict(self._metadata)),
         }
         digest = content_checksum(content)
@@ -167,6 +189,7 @@ class GSimIndex:
                     u=content["u"],
                     v=content["v"],
                     log_scale=content["log_scale"],
+                    dtype=content["dtype"],
                     metadata_json=np.str_(content["metadata_json"]),
                     checksum=np.str_(digest),
                 )
@@ -182,7 +205,7 @@ class GSimIndex:
         :meth:`build` in that case.
         """
         path = Path(path)
-        wanted = {"u", "v", "log_scale", "metadata_json", "checksum"}
+        wanted = {"u", "v", "log_scale", "dtype", "metadata_json", "checksum"}
         try:
             with np.load(path, allow_pickle=False) as archive:
                 arrays = {
@@ -210,6 +233,8 @@ class GSimIndex:
                 "log_scale": arrays["log_scale"],
                 "metadata_json": str(arrays["metadata_json"]),
             }
+            if "dtype" in arrays:
+                content["dtype"] = arrays["dtype"]
             if content_checksum(content) != str(arrays["checksum"]):
                 raise CorruptArtifactError(
                     f"checksum mismatch in GSimIndex file {path}; the "
@@ -223,8 +248,31 @@ class GSimIndex:
                 f"(metadata v{raw['metadata_version']})"
             )
         metadata = IndexMetadata(**raw)
+        if "dtype" in arrays:
+            declared = np.dtype(str(arrays["dtype"]))
+            for name in ("u", "v"):
+                if arrays[name].dtype != declared:
+                    raise ValueError(
+                        f"{path} declares dtype {declared.name} but array "
+                        f"'{name}' is {arrays[name].dtype.name}; the "
+                        "artifact is inconsistent — rebuild it with "
+                        "GSimIndex.build"
+                    )
+            dtype = declared
+        else:
+            # pre-v3 indexes predate the precision policy: float64 only.
+            dtype = np.dtype(np.float64)
+        truncation = (
+            TruncationInfo.from_dict(metadata.truncation)
+            if metadata.truncation is not None
+            else None
+        )
         factors = LowRankFactors(
-            arrays["u"], arrays["v"], float(arrays["log_scale"])
+            arrays["u"],
+            arrays["v"],
+            float(arrays["log_scale"]),
+            dtype=dtype,
+            truncation=truncation,
         )
         return cls(factors, metadata)
 

@@ -48,6 +48,26 @@ def _flip_byte(path, offset=-20):
     path.write_bytes(bytes(blob))
 
 
+def _flip_payload_byte(path):
+    """Corrupt one byte inside the largest npz member's compressed data.
+
+    A fixed file offset can land in redundant zip plumbing (duplicate
+    local-header fields) that a reader legitimately never consults; by
+    aiming at the middle of the biggest member's payload the flip always
+    hits bytes that carry array content.
+    """
+    import zipfile
+
+    with zipfile.ZipFile(path) as archive:
+        info = max(archive.infolist(), key=lambda entry: entry.compress_size)
+        header = bytearray(path.read_bytes())[info.header_offset:]
+        # local header: 26..30 hold the name/extra lengths; data follows.
+        name_len = int.from_bytes(header[26:28], "little")
+        extra_len = int.from_bytes(header[28:30], "little")
+        data_start = info.header_offset + 30 + name_len + extra_len
+    _flip_byte(path, offset=data_start + info.compress_size // 2)
+
+
 # ----------------------------------------------------------------------
 # atomic_write / content_checksum
 # ----------------------------------------------------------------------
@@ -312,6 +332,56 @@ class TestCrashResume:
         assert np.array_equal(resumed.similarity, baseline.similarity)
         assert resumed.z_frobenius_log == baseline.z_frobenius_log
 
+    @pytest.mark.recompress
+    def test_recompressed_resume_is_bit_identical(self, tmp_path, random_pair):
+        graph_a, graph_b = random_pair
+        iterations = 6
+        baseline = gsim_plus(
+            graph_a, graph_b, iterations=iterations, recompress_tol=1e-8
+        )
+
+        manager = CheckpointManager(tmp_path)
+        injector = FaultInjector(fail_at=4, match="GSim+ iteration")
+        context = ExecutionContext(fault_injector=injector)
+        with pytest.raises(InjectedFault):
+            gsim_plus(
+                graph_a, graph_b, iterations=iterations,
+                recompress_tol=1e-8,
+                context=context, checkpoints=manager,
+            )
+        assert manager.steps(), "the killed run left no snapshots"
+
+        resumed = gsim_plus(
+            graph_a, graph_b, iterations=iterations,
+            recompress_tol=1e-8,
+            checkpoints=manager, resume_from=manager,
+        )
+        assert np.array_equal(resumed.similarity, baseline.similarity)
+        assert resumed.z_frobenius_log == baseline.z_frobenius_log
+        assert resumed.truncation == baseline.truncation
+
+    @pytest.mark.recompress
+    def test_recompress_tol_mismatch_refuses_resume(self, tmp_path, random_pair):
+        graph_a, graph_b = random_pair
+        manager = CheckpointManager(tmp_path)
+        gsim_plus(
+            graph_a, graph_b, iterations=3,
+            recompress_tol=1e-8, checkpoints=manager,
+        )
+        with pytest.raises(ValueError, match="does not match this solver"):
+            gsim_plus(graph_a, graph_b, iterations=3, resume_from=manager)
+
+    @pytest.mark.recompress
+    def test_precision_mismatch_refuses_resume(self, tmp_path, random_pair):
+        graph_a, graph_b = random_pair
+        manager = CheckpointManager(tmp_path)
+        gsim_plus(graph_a, graph_b, iterations=3, checkpoints=manager)
+        with pytest.raises(ValueError, match="does not match this solver"):
+            gsim_plus(
+                graph_a, graph_b, iterations=3,
+                precision="float32", resume_from=manager,
+            )
+
     def test_resume_falls_back_past_corrupt_snapshot(self, tmp_path, random_pair):
         graph_a, graph_b = random_pair
         iterations = 5
@@ -325,7 +395,7 @@ class TestCrashResume:
                 checkpoints=manager,
             )
         newest = manager.path_for(max(manager.steps()))
-        _flip_byte(newest, offset=len(newest.read_bytes()) // 2)
+        _flip_payload_byte(newest)
         with pytest.warns(RuntimeWarning, match="corrupt checkpoint"):
             resumed = gsim_plus(
                 graph_a, graph_b, iterations=iterations, resume_from=manager
@@ -439,7 +509,7 @@ class TestArtifactCorruption:
     def test_flipped_byte_in_factor_file(self, tmp_path):
         path = tmp_path / "factors.npz"
         save_factors(self._factors(), path)
-        _flip_byte(path, offset=len(path.read_bytes()) // 2)
+        _flip_payload_byte(path)
         with pytest.raises(CorruptArtifactError):
             load_factors(path)
 
@@ -456,7 +526,7 @@ class TestArtifactCorruption:
         queries = ([0, 1], [0, 1, 2])
         assert np.array_equal(loaded.query(*queries), index.query(*queries))
 
-        _flip_byte(path, offset=len(path.read_bytes()) // 2)
+        _flip_payload_byte(path)
         with pytest.raises(CorruptArtifactError, match="rebuild"):
             GSimIndex.load(path)
 
