@@ -2,16 +2,26 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast bench bench-all bench-compression figures accuracy examples all-checks
+.PHONY: install test test-fast bench bench-all bench-compression bench-gate figures accuracy examples all-checks
 
 # Pin BLAS thread pools so benchmark numbers isolate the worker-pool
 # sharding from library-internal threading (see docs/usage.md).
 BENCH_ENV = OMP_NUM_THREADS=1 OPENBLAS_NUM_THREADS=1 MKL_NUM_THREADS=1 PYTHONPATH=src
 
 # Where `make bench` writes its pytest-benchmark JSON; override with
-# `make bench BENCH_OUT=elsewhere.json`.  Defaults under results/ so a
-# bench run never dirties the repo root.
-BENCH_OUT ?= results/BENCH_core.json
+# `make bench BENCH_OUT=elsewhere.json`.  Defaults to a gitignored file
+# under results/ so a fresh run never clobbers the committed
+# results/BENCH_core.json baseline the perf gate compares against.
+BENCH_OUT ?= results/BENCH_fresh.json
+
+# Committed baseline + candidate path for `make bench-gate`.
+BENCH_BASELINE ?= results/BENCH_core.json
+BENCH_GATE_OUT ?= results/BENCH_gate_candidate.json
+
+# Default tolerance bands: worker-scaling entries oversubscribe small
+# CI hosts and jitter 2-3x run-to-run, so they get a wide band; the
+# algorithmic benchmarks keep the gate's +50% default.
+BENCH_GATE_BANDS ?= --band '*_workers*=3.0'
 
 # Where `make bench-compression` writes the exact-vs-compressed
 # accuracy/speed curves (committed next to the core bench artifact).
@@ -40,6 +50,15 @@ bench-all:
 bench-compression:
 	mkdir -p $(dir $(BENCH_COMPRESSION_OUT))
 	$(BENCH_ENV) $(PYTHON) benchmarks/compression_sweep.py $(BENCH_COMPRESSION_OUT)
+
+# CI perf-regression gate: run the core benchmarks fresh, compare
+# against the committed baseline with tolerance bands (exit 1 on a
+# regression, 2 on unusable input).  See scripts/bench_gate.py --help.
+bench-gate:
+	$(MAKE) bench BENCH_OUT=$(BENCH_GATE_OUT)
+	$(PYTHON) scripts/bench_gate.py \
+		--baseline $(BENCH_BASELINE) --candidate $(BENCH_GATE_OUT) \
+		$(BENCH_GATE_BANDS)
 
 figures:
 	for fig in fig2 fig3 fig4 fig5 fig6 fig7 fig8; do \

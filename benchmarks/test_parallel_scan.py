@@ -4,7 +4,7 @@ An R-MAT pair sized so the blocked top-k scan dominates (n_A + n_B ≈
 20k nodes): the factors are prebuilt once, so every benchmark times only
 the kernel under study.
 
-Three comparisons land in ``BENCH_core.json``:
+Three comparisons land in ``results/BENCH_core.json``:
 
 * **legacy vs vectorised selection** — the pre-worker-pool scan loops
   (full ``np.argsort`` block sorts + per-entry Python heap pushes, and

@@ -1,0 +1,244 @@
+#!/usr/bin/env python
+"""Perf-regression gate over pytest-benchmark JSON artifacts.
+
+Compares a candidate benchmark run (``make bench BENCH_OUT=...``) against
+a committed baseline (``results/BENCH_core.json``) and fails when any
+benchmark regressed beyond its tolerance band:
+
+    candidate_stat > baseline_stat * (1 + tolerance)
+
+Benchmarks are matched by ``fullname`` (file::test[param]); the compared
+statistic defaults to ``median`` — the most stable pytest-benchmark stat
+on noisy CI hosts.  The default tolerance is deliberately wide (50%)
+because shared runners jitter; tighten per benchmark with ``--band``:
+
+    python scripts/bench_gate.py \
+        --baseline results/BENCH_core.json \
+        --candidate /tmp/BENCH_fresh.json \
+        --band 'benchmarks/test_core_kernels.py::*=0.8' \
+        --band '*scan_vectorized*=0.3'
+
+``--band GLOB=TOL`` uses ``fnmatch`` globs against the fullname; the
+*last* matching band wins, so list general bands before specific ones.
+
+Exit codes: 0 = within bands, 1 = at least one regression, 2 = unusable
+input (missing file, malformed JSON, empty overlap).  Improvements and
+benchmarks present on only one side never fail the gate (new benchmarks
+have no baseline yet; retired ones no longer matter) — they are listed
+so a silently shrinking benchmark suite is visible in the log.
+"""
+
+from __future__ import annotations
+
+import argparse
+import fnmatch
+import json
+import sys
+from pathlib import Path
+
+
+def _die(message: str) -> "SystemExit":
+    """Unusable input: print and exit 2 (distinct from a regression's 1)."""
+    print(message, file=sys.stderr)
+    return SystemExit(2)
+
+
+STATS = ("min", "max", "mean", "median", "stddev", "iqr", "ops")
+
+
+def load_benchmarks(path: Path) -> dict[str, dict]:
+    """Map ``fullname`` -> ``stats`` dict from a pytest-benchmark JSON."""
+    try:
+        raw = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise _die(f"bench-gate: no such file: {path}") from None
+    except json.JSONDecodeError as exc:
+        raise _die(f"bench-gate: {path} is not valid JSON: {exc}") from None
+    benches = raw.get("benchmarks")
+    if not isinstance(benches, list):
+        raise _die(
+            f"bench-gate: {path} has no 'benchmarks' list "
+            "(is it a pytest-benchmark artifact?)"
+        )
+    out: dict[str, dict] = {}
+    for bench in benches:
+        fullname = bench.get("fullname") or bench.get("name")
+        stats = bench.get("stats")
+        if fullname and isinstance(stats, dict):
+            out[fullname] = stats
+    return out
+
+
+def parse_bands(specs: list[str]) -> list[tuple[str, float]]:
+    """``GLOB=TOL`` strings -> (glob, tolerance) pairs, order preserved."""
+    bands: list[tuple[str, float]] = []
+    for spec in specs:
+        glob, sep, tol = spec.rpartition("=")
+        if not sep or not glob:
+            raise _die(f"bench-gate: bad --band {spec!r}, expected GLOB=TOL")
+        try:
+            tolerance = float(tol)
+        except ValueError:
+            raise _die(
+                f"bench-gate: bad --band tolerance {tol!r} in {spec!r}"
+            ) from None
+        if tolerance < 0:
+            raise _die(f"bench-gate: negative tolerance in {spec!r}")
+        bands.append((glob, tolerance))
+    return bands
+
+
+def tolerance_for(
+    fullname: str, default: float, bands: list[tuple[str, float]]
+) -> float:
+    """Last matching ``--band`` glob wins; otherwise the default."""
+    tolerance = default
+    for glob, tol in bands:
+        if fnmatch.fnmatch(fullname, glob):
+            tolerance = tol
+    return tolerance
+
+
+def compare(
+    baseline: dict[str, dict],
+    candidate: dict[str, dict],
+    stat: str,
+    default_tolerance: float,
+    bands: list[tuple[str, float]],
+) -> dict:
+    """The full gate verdict as a JSON-serialisable report."""
+    shared = sorted(set(baseline) & set(candidate))
+    rows = []
+    for fullname in shared:
+        base = baseline[fullname].get(stat)
+        cand = candidate[fullname].get(stat)
+        if base is None or cand is None:
+            continue
+        tolerance = tolerance_for(fullname, default_tolerance, bands)
+        limit = base * (1.0 + tolerance)
+        # ops is a rate (higher = better); every other stat is seconds.
+        if stat == "ops":
+            limit = base / (1.0 + tolerance)
+            regressed = cand < limit
+            ratio = base / cand if cand else float("inf")
+        else:
+            regressed = cand > limit
+            ratio = cand / base if base else float("inf")
+        rows.append(
+            {
+                "fullname": fullname,
+                "baseline": base,
+                "candidate": cand,
+                "ratio": ratio,
+                "tolerance": tolerance,
+                "regressed": regressed,
+            }
+        )
+    return {
+        "stat": stat,
+        "compared": len(rows),
+        "regressions": [row for row in rows if row["regressed"]],
+        "rows": rows,
+        "only_in_baseline": sorted(set(baseline) - set(candidate)),
+        "only_in_candidate": sorted(set(candidate) - set(baseline)),
+    }
+
+
+def render(report: dict) -> str:
+    lines = [
+        f"bench-gate: {report['compared']} benchmarks compared "
+        f"on stat={report['stat']!r}"
+    ]
+    for row in report["rows"]:
+        flag = "FAIL" if row["regressed"] else "ok  "
+        lines.append(
+            f"  {flag} {row['fullname']}: "
+            f"{row['candidate']:.6g} vs {row['baseline']:.6g} "
+            f"(x{row['ratio']:.2f}, band +{row['tolerance']:.0%})"
+        )
+    for name in report["only_in_baseline"]:
+        lines.append(f"  gone {name}: in baseline only (not gated)")
+    for name in report["only_in_candidate"]:
+        lines.append(f"  new  {name}: in candidate only (no baseline yet)")
+    n = len(report["regressions"])
+    lines.append(
+        "bench-gate: PASS — no regressions beyond tolerance"
+        if n == 0
+        else f"bench-gate: FAIL — {n} regression(s) beyond tolerance"
+    )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "--baseline",
+        default="results/BENCH_core.json",
+        type=Path,
+        help="committed pytest-benchmark JSON to gate against",
+    )
+    parser.add_argument(
+        "--candidate",
+        required=True,
+        type=Path,
+        help="fresh pytest-benchmark JSON from this run",
+    )
+    parser.add_argument(
+        "--stat",
+        default="median",
+        choices=STATS,
+        help="stats field to compare (default: median)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        default=0.5,
+        type=float,
+        help="default allowed slowdown fraction (0.5 = +50%%)",
+    )
+    parser.add_argument(
+        "--band",
+        action="append",
+        default=[],
+        metavar="GLOB=TOL",
+        help="per-benchmark tolerance override (fnmatch on fullname; "
+        "repeatable, last match wins)",
+    )
+    parser.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="also write the full report as JSON",
+    )
+    args = parser.parse_args(argv)
+    if args.tolerance < 0:
+        raise _die("bench-gate: --tolerance must be >= 0")
+
+    baseline = load_benchmarks(args.baseline)
+    candidate = load_benchmarks(args.candidate)
+    report = compare(
+        baseline, candidate, args.stat, args.tolerance, parse_bands(args.band)
+    )
+    if report["compared"] == 0:
+        print(
+            "bench-gate: no overlapping benchmarks between "
+            f"{args.baseline} and {args.candidate}",
+            file=sys.stderr,
+        )
+        return 2
+    print(render(report))
+    if args.json is not None:
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"bench-gate: report written to {args.json}")
+    return 1 if report["regressions"] else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

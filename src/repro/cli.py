@@ -23,6 +23,22 @@ JSON — open it in Perfetto or ``chrome://tracing`` to see iterate →
 shard → top-k nesting; ``--trace-summary`` prints the per-span-name
 total/self-time hot-path table instead of (or as well as) the file.
 ``--trace`` and ``--metrics`` compose in one run.
+
+``--telemetry-dir DIR`` (same subcommands as ``--trace``) opens a
+:class:`repro.runtime.TelemetrySession`: a background flusher exports
+the run's metrics to ``DIR/metrics.prom`` (Prometheus text format) and
+``DIR/metrics.jsonl`` (append-only time-series) every
+``--flush-interval`` seconds with resource gauges (RSS, CPU, GC,
+threads) sampled on the same cadence, retrieval calls slower than
+``--slow-query-ms`` land in ``DIR/slow_queries.jsonl``, and any
+``--slo`` objectives (repeatable, e.g.
+``--slo 'p99(index.query_seconds) < 50ms'``) are evaluated at the end
+into ``DIR/slo_report.json``.  A violated objective sets exit code 3.
+``--slo`` also works without ``--telemetry-dir`` (report printed only).
+
+All observability outputs — ``--metrics``, ``--trace``, telemetry — are
+flushed on failure paths too: a run that raises or is cancelled
+mid-sweep still writes its partial snapshots, so post-mortems have data.
 """
 
 from __future__ import annotations
@@ -155,6 +171,43 @@ def _build_parser() -> argparse.ArgumentParser:
             help="print a per-span-name total/self-time table after the run",
         )
 
+    def _add_telemetry(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--telemetry-dir",
+            default=None,
+            metavar="DIR",
+            help="export operational telemetry under DIR during the run: "
+            "metrics.prom (Prometheus text format) + metrics.jsonl "
+            "(append-only time-series) flushed periodically with process "
+            "resource gauges, and slow_queries.jsonl for retrieval calls "
+            "over the --slow-query-ms threshold",
+        )
+        sub.add_argument(
+            "--flush-interval",
+            type=float,
+            default=5.0,
+            metavar="SEC",
+            help="telemetry flush cadence in seconds (default: 5)",
+        )
+        sub.add_argument(
+            "--slow-query-ms",
+            type=float,
+            default=100.0,
+            metavar="MS",
+            help="latency threshold for the slow-query log in "
+            "milliseconds (default: 100)",
+        )
+        sub.add_argument(
+            "--slo",
+            action="append",
+            default=None,
+            metavar="SPEC",
+            help="declare a service-level objective evaluated against the "
+            "run's final metrics, e.g. 'p99(index.query_seconds) < 50ms' "
+            "or 'error_rate(index.query) < 0.1%%'; repeatable; a "
+            "violation sets exit code 3",
+        )
+
     def _add_precision(sub: argparse.ArgumentParser) -> None:
         sub.add_argument(
             "--precision",
@@ -191,6 +244,7 @@ def _build_parser() -> argparse.ArgumentParser:
         _add_common(sub)
         _add_metrics(sub)
         _add_trace(sub)
+        _add_telemetry(sub)
         _add_resilience(sub)
         _add_workers(sub)
         _add_precision(sub)
@@ -217,6 +271,7 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_common(everything)
     _add_metrics(everything)
     _add_trace(everything)
+    _add_telemetry(everything)
     _add_resilience(everything)
     _add_workers(everything)
     _add_precision(everything)
@@ -227,6 +282,7 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_common(topk)
     _add_metrics(topk)
     _add_trace(topk)
+    _add_telemetry(topk)
     _add_workers(topk)
     _add_precision(topk)
     topk.add_argument("--dataset", default="HP", help="dataset key")
@@ -271,6 +327,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_metrics(sim)
     _add_trace(sim)
+    _add_telemetry(sim)
     _add_resilience(sim)
     _add_workers(sim)
     _add_precision(sim)
@@ -280,6 +337,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_metrics(spec)
     _add_trace(spec)
+    _add_telemetry(spec)
     spec.add_argument("spec_path", help="path to the JSON experiment spec")
     spec.add_argument(
         "--metric", default="time", choices=("time", "memory"),
@@ -329,6 +387,103 @@ def _make_tracer(args: argparse.Namespace):
     return None
 
 
+class _CliTelemetry:
+    """The --telemetry-dir/--slo lifecycle for one CLI run.
+
+    Owns a live :class:`repro.runtime.Metrics` sink (``self.metrics``) —
+    for experiment commands the per-cell snapshots are merged into it as
+    cells finish, for ``topk``/``sim`` it is the run context's own sink —
+    plus the optional :class:`repro.runtime.TelemetrySession` exporting
+    it.  :meth:`close` is failure-safe and idempotent; it returns the
+    exit-code contribution (3 on a violated SLO).
+    """
+
+    def __init__(self, args: argparse.Namespace, metrics=None, source=None):
+        from repro.runtime import Metrics, SLObjective
+
+        self.args = args
+        self.metrics = metrics if metrics is not None else Metrics()
+        self.source = source if source is not None else self.metrics.snapshot
+        self.session = None
+        self.slow_queries = None
+        self._closed = False
+        try:
+            self.objectives = [
+                SLObjective.parse(raw)
+                for raw in (getattr(args, "slo", None) or ())
+            ]
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            raise SystemExit(2) from None
+        if getattr(args, "telemetry_dir", None):
+            from repro.runtime import TelemetrySession
+
+            self.session = TelemetrySession(
+                args.telemetry_dir,
+                self.metrics,
+                source=self.source,
+                interval_seconds=args.flush_interval,
+                slow_query_threshold=args.slow_query_ms / 1000.0,
+                objectives=self.objectives,
+            ).start()
+            self.slow_queries = self.session.slow_queries
+
+    def close(self) -> int:
+        """Final flush + SLO verdicts; safe to call on failure paths."""
+        if self._closed:
+            return 0
+        self._closed = True
+        reports = None
+        if self.session is not None:
+            reports = self.session.close()
+            print(f"telemetry written to {self.session.directory}")
+        elif self.objectives:
+            from repro.runtime import SLOTracker
+
+            reports = SLOTracker(self.objectives).evaluate(self.source())
+        if reports:
+            from repro.runtime import render_slo_report
+
+            print(render_slo_report(reports))
+            if any(not report.ok for report in reports):
+                print("error: SLO violated", file=sys.stderr)
+                return 3
+        return 0
+
+
+def _emit_partial(
+    args: argparse.Namespace,
+    tracer,
+    telemetry: "_CliTelemetry | None",
+    exc: BaseException,
+    metrics_tree: dict | None = None,
+) -> None:
+    """Best-effort --metrics/--trace/telemetry flush on a failure path.
+
+    An interrupted or crashed run still leaves partial snapshots on
+    disk for the post-mortem: the metrics tree travels on structured
+    budget failures (``exc.metrics``), the trace holds every span
+    completed so far, and the telemetry session takes a final flush.
+    The exception is re-raised by the caller; nothing here may raise.
+    """
+    if metrics_tree is None:
+        metrics_tree = getattr(exc, "metrics", None)
+    if metrics_tree is None and telemetry is not None:
+        try:
+            metrics_tree = telemetry.source()
+        except Exception:
+            metrics_tree = None
+    try:
+        _finish(args, tracer, metrics_tree)
+    except Exception:
+        pass
+    if telemetry is not None:
+        try:
+            telemetry.close()
+        except Exception:
+            pass
+
+
 def _finish(
     args: argparse.Namespace, tracer=None, metrics_tree: dict | None = None
 ) -> int:
@@ -368,6 +523,7 @@ def _run_figure(
     journal=None,
     retry_policy=None,
     tracer=None,
+    telemetry: "_CliTelemetry | None" = None,
 ) -> tuple[str, list]:
     if journal is None and retry_policy is None:
         journal, retry_policy = _resilience(args, name)
@@ -381,6 +537,8 @@ def _run_figure(
         tracer=tracer,
         precision=getattr(args, "precision", "float64"),
         recompress_tol=getattr(args, "recompress_tol", None),
+        metrics_sink=telemetry.metrics if telemetry is not None else None,
+        slow_queries=telemetry.slow_queries if telemetry is not None else None,
     )
     if args.iterations is None:
         config = ExperimentConfig.for_scale(args.scale, seed=args.seed, **guards)
@@ -431,17 +589,33 @@ def _write_metrics(path: str, tree: dict) -> int:
     return 0
 
 
+def _telemetry_for(args: argparse.Namespace, metrics=None, source=None):
+    """A started :class:`_CliTelemetry` when --telemetry-dir or --slo was
+    given, ``None`` otherwise (runs then pay nothing)."""
+    if getattr(args, "telemetry_dir", None) or getattr(args, "slo", None):
+        return _CliTelemetry(args, metrics=metrics, source=source)
+    return None
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
     if args.command in _FIGURES:
         tracer = _make_tracer(args)
-        rendered, records = _run_figure(args.command, args, tracer=tracer)
+        telemetry = _telemetry_for(args)
+        try:
+            rendered, records = _run_figure(
+                args.command, args, tracer=tracer, telemetry=telemetry
+            )
+        except BaseException as exc:
+            _emit_partial(args, tracer, telemetry, exc)
+            raise
         print(rendered)
-        return _finish(
+        slo_code = telemetry.close() if telemetry is not None else 0
+        return max(slo_code, _finish(
             args, tracer,
             _merged_record_metrics(records) if args.metrics else None,
-        )
+        ))
     if args.command == "accuracy":
         from repro.runtime import Metrics
 
@@ -468,21 +642,30 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "all":
         journal, retry_policy = _resilience(args, "all")
         tracer = _make_tracer(args)
+        telemetry = _telemetry_for(args)
         all_records: list = []
-        for name in _FIGURES:
-            rendered, records = _run_figure(
-                name, args, journal=journal, retry_policy=retry_policy,
-                tracer=tracer,
+        try:
+            for name in _FIGURES:
+                rendered, records = _run_figure(
+                    name, args, journal=journal, retry_policy=retry_policy,
+                    tracer=tracer, telemetry=telemetry,
+                )
+                print(rendered)
+                print()
+                all_records.extend(records)
+            table = accuracy_table(scale=args.scale, seed=args.seed)
+        except BaseException as exc:
+            _emit_partial(
+                args, tracer, telemetry, exc,
+                _merged_record_metrics(all_records) if args.metrics else None,
             )
-            print(rendered)
-            print()
-            all_records.extend(records)
-        table = accuracy_table(scale=args.scale, seed=args.seed)
+            raise
         print(render_accuracy_table(table))
-        return _finish(
+        slo_code = telemetry.close() if telemetry is not None else 0
+        return max(slo_code, _finish(
             args, tracer,
             _merged_record_metrics(all_records) if args.metrics else None,
-        )
+        ))
     if args.command == "topk":
         from repro.core import top_k_pairs
         from repro.graphs import load_dataset_pair
@@ -495,21 +678,33 @@ def main(argv: Sequence[str] | None = None) -> int:
         if iterations is None:
             iterations = ExperimentConfig.for_scale(args.scale).iterations
         tracer = _make_tracer(args)
-        context = ExecutionContext(tracer=tracer)
-        pairs = top_k_pairs(
-            graph_a, graph_b, args.top, iterations=iterations, context=context,
-            max_workers=args.workers,
-            precision=args.precision, recompress_tol=args.recompress_tol,
+        telemetry = _telemetry_for(args)
+        context = ExecutionContext(
+            tracer=tracer,
+            metrics=telemetry.metrics if telemetry is not None else None,
+            slow_queries=(
+                telemetry.slow_queries if telemetry is not None else None
+            ),
         )
+        try:
+            pairs = top_k_pairs(
+                graph_a, graph_b, args.top, iterations=iterations,
+                context=context, max_workers=args.workers,
+                precision=args.precision, recompress_tol=args.recompress_tol,
+            )
+        except BaseException as exc:
+            _emit_partial(args, tracer, telemetry, exc, context.snapshot())
+            raise
         print(f"top-{args.top} pairs on {graph_a.name} (K={iterations}):")
         for pair in pairs:
             print(
                 f"  G_A {pair.node_a:>7}  ~  G_B {pair.node_b:>6}"
                 f"   score {pair.score:.5f}"
             )
-        return _finish(
+        slo_code = telemetry.close() if telemetry is not None else 0
+        return max(slo_code, _finish(
             args, tracer, context.snapshot() if args.metrics else None
-        )
+        ))
     if args.command == "sim":
         import numpy as np
 
@@ -541,7 +736,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"G_A = {graph_a}")
         print(f"G_B = {graph_b}")
         tracer = _make_tracer(args)
-        context = ExecutionContext(tracer=tracer)
+        telemetry = _telemetry_for(args)
+        context = ExecutionContext(
+            tracer=tracer,
+            metrics=telemetry.metrics if telemetry is not None else None,
+            slow_queries=(
+                telemetry.slow_queries if telemetry is not None else None
+            ),
+        )
         if args.top is not None:
             def _top_pairs():
                 return top_k_pairs(
@@ -551,15 +753,20 @@ def main(argv: Sequence[str] | None = None) -> int:
                     recompress_tol=args.recompress_tol,
                 )
 
-            if retry_policy is not None:
-                pairs = retry_policy.call(_top_pairs, what="sim topk")
-            else:
-                pairs = _top_pairs()
+            try:
+                if retry_policy is not None:
+                    pairs = retry_policy.call(_top_pairs, what="sim topk")
+                else:
+                    pairs = _top_pairs()
+            except BaseException as exc:
+                _emit_partial(args, tracer, telemetry, exc, context.snapshot())
+                raise
             for pair in pairs:
                 print(f"  {pair.node_a}\t{pair.node_b}\t{pair.score:.6f}")
-            return _finish(
+            slo_code = telemetry.close() if telemetry is not None else 0
+            return max(slo_code, _finish(
                 args, tracer, context.snapshot() if args.metrics else None
-            )
+            ))
 
         def _parse_queries(raw: str | None) -> list[int] | None:
             if raw is None:
@@ -583,29 +790,34 @@ def main(argv: Sequence[str] | None = None) -> int:
             )
 
         resume_from = {"manager": checkpoints if args.resume else None}
-        if retry_policy is not None:
-            def _on_retry(attempt: int, exc: BaseException) -> None:
-                # A failed attempt may still have snapshotted progress;
-                # pick up from the last valid checkpoint rather than
-                # iteration zero.
-                resume_from["manager"] = checkpoints
+        try:
+            if retry_policy is not None:
+                def _on_retry(attempt: int, exc: BaseException) -> None:
+                    # A failed attempt may still have snapshotted progress;
+                    # pick up from the last valid checkpoint rather than
+                    # iteration zero.
+                    resume_from["manager"] = checkpoints
 
-            result = retry_policy.call(
-                lambda: _compute(resume_from["manager"]),
-                what="sim",
-                on_retry=_on_retry,
-            )
-        else:
-            result = _compute(resume_from["manager"])
+                result = retry_policy.call(
+                    lambda: _compute(resume_from["manager"]),
+                    what="sim",
+                    on_retry=_on_retry,
+                )
+            else:
+                result = _compute(resume_from["manager"])
+        except BaseException as exc:
+            _emit_partial(args, tracer, telemetry, exc, context.snapshot())
+            raise
         if args.output:
             np.savetxt(args.output, result.similarity, delimiter=",", fmt="%.8g")
             print(f"{result.similarity.shape} block written to {args.output}")
         else:
             with np.printoptions(precision=4, suppress=True, threshold=400):
                 print(result.similarity)
-        return _finish(
+        slo_code = telemetry.close() if telemetry is not None else 0
+        return max(slo_code, _finish(
             args, tracer, context.snapshot() if args.metrics else None
-        )
+        ))
     if args.command == "spec":
         from repro.experiments.export import write_csv
         from repro.experiments.spec import ExperimentSpec, run_spec
@@ -623,10 +835,19 @@ def main(argv: Sequence[str] | None = None) -> int:
             if args.recompress_tol is not None:
                 overrides["recompress_tol"] = args.recompress_tol
             spec = dataclasses.replace(spec, **overrides)
-        records = run_spec(
-            spec, journal=journal, retry_policy=retry_policy,
-            max_workers=args.workers, tracer=tracer,
-        )
+        telemetry = _telemetry_for(args)
+        try:
+            records = run_spec(
+                spec, journal=journal, retry_policy=retry_policy,
+                max_workers=args.workers, tracer=tracer,
+                metrics_sink=telemetry.metrics if telemetry is not None else None,
+                slow_queries=(
+                    telemetry.slow_queries if telemetry is not None else None
+                ),
+            )
+        except BaseException as exc:
+            _emit_partial(args, tracer, telemetry, exc)
+            raise
         if journal is not None:
             print(
                 f"[{journal.hits}/{len(records)} cells replayed from "
@@ -645,10 +866,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.export_csv:
             write_csv(records, args.export_csv)
             print(f"records written to {args.export_csv}")
-        return _finish(
+        slo_code = telemetry.close() if telemetry is not None else 0
+        return max(slo_code, _finish(
             args, tracer,
             _merged_record_metrics(records) if args.metrics else None,
-        )
+        ))
     if args.command == "datasets":
         from repro.experiments.report import render_table
         from repro.graphs import DATASETS, degree_statistics, load_dataset

@@ -21,6 +21,7 @@ so the thread-pool path aggregates counters without losing increments.
 
 from __future__ import annotations
 
+import time
 from typing import Iterable, Iterator, Sequence
 
 import numpy as np
@@ -87,6 +88,7 @@ class BatchQueryEngine:
         if context is not None:
             context.checkpoint("batch query block")
         tracer = context.tracer if context is not None else NULL_TRACER
+        start = time.perf_counter()
         with tracer.span("batch.query_block") as span:
             block = self._factors.query_block(
                 queries_a, queries_b, include_scale=False
@@ -101,6 +103,14 @@ class BatchQueryEngine:
             if context is not None:
                 context.metrics.increment("batch.blocks_served")
                 context.metrics.increment("batch.cells_served", block.size)
+                if context.slow_queries is not None:
+                    context.slow_queries.maybe_record(
+                        "batch.query_block",
+                        time.perf_counter() - start,
+                        cells=int(block.size),
+                        width=self._factors.width,
+                        span_id=getattr(span, "span_id", None),
+                    )
             return block / denominator
 
     def query_many(

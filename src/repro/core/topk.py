@@ -31,6 +31,7 @@ Entry points:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -209,26 +210,43 @@ def scan_top_pairs(
         start, stop = bounds
         return _scan_range(u, v_t, start, stop, k, block_rows, context)
 
+    start_time = time.perf_counter()
     with tracer.span("topk.scan_pairs") as span:
         span.set_attribute("k", k)
         span.set_attribute("rows", n_a)
         span.set_attribute("cols", n_b)
-        parts = pool.map(
-            _scan,
-            shard_ranges(n_a, pool.max_workers),
-            context=context,
-            what="top-k pair scan",
-        )
-        if not parts:
-            return []
-        scores = np.concatenate([part[0] for part in parts])
-        rows = np.concatenate([part[1] for part in parts])
-        cols = np.concatenate([part[2] for part in parts])
-        order = _canonical_top_k(scores, rows, cols, k)
-        return [
-            ScoredPair(int(rows[i]), int(cols[i]), float(scores[i]) * score_scale)
-            for i in order
-        ]
+        try:
+            parts = pool.map(
+                _scan,
+                shard_ranges(n_a, pool.max_workers),
+                context=context,
+                what="top-k pair scan",
+            )
+            if not parts:
+                return []
+            scores = np.concatenate([part[0] for part in parts])
+            rows = np.concatenate([part[1] for part in parts])
+            cols = np.concatenate([part[2] for part in parts])
+            order = _canonical_top_k(scores, rows, cols, k)
+            return [
+                ScoredPair(int(rows[i]), int(cols[i]), float(scores[i]) * score_scale)
+                for i in order
+            ]
+        finally:
+            if context is not None:
+                duration = time.perf_counter() - start_time
+                context.metrics.observe_histogram("topk.scan_seconds", duration)
+                if context.slow_queries is not None:
+                    context.slow_queries.maybe_record(
+                        "topk.scan_pairs",
+                        duration,
+                        k=int(k),
+                        rows=int(n_a),
+                        cols=int(n_b),
+                        width=factors.width,
+                        workers=pool.max_workers,
+                        span_id=getattr(span, "span_id", None),
+                    )
 
 
 def top_k_pairs(
@@ -358,12 +376,30 @@ def top_k_for_queries(
         for start in range(0, rows.size, block_rows)
     ]
     tracer = context.tracer if context is not None else NULL_TRACER
+    start_time = time.perf_counter()
     with tracer.span("topk.query_scan") as span:
         span.set_attribute("queries", int(rows.size))
         span.set_attribute("k", k)
-        parts = pool.map(
-            _scan_chunk, chunk_bounds, context=context, what="top-k query scan"
-        )
+        try:
+            parts = pool.map(
+                _scan_chunk, chunk_bounds, context=context, what="top-k query scan"
+            )
+        finally:
+            if context is not None:
+                duration = time.perf_counter() - start_time
+                context.metrics.observe_histogram(
+                    "topk.query_scan_seconds", duration
+                )
+                if context.slow_queries is not None:
+                    context.slow_queries.maybe_record(
+                        "topk.query_scan",
+                        duration,
+                        queries=int(rows.size),
+                        k=int(k),
+                        width=factors.width,
+                        workers=pool.max_workers,
+                        span_id=getattr(span, "span_id", None),
+                    )
     results: dict[int, list[ScoredPair]] = {}
     for part in parts:
         for node_a, order, scores in part:

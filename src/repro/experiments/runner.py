@@ -49,6 +49,8 @@ from repro.utils.timing import Stopwatch
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.experiments.journal import RunJournal
+    from repro.runtime.metrics import Metrics
+    from repro.runtime.telemetry import SlowQueryLog
 
 __all__ = [
     "ALGORITHMS",
@@ -168,6 +170,16 @@ class ExperimentConfig:
     replay) stitched under the root even when cells run on worker
     threads, and the per-cell contexts inherit the tracer so solver and
     shard spans nest inside their cell.
+
+    ``metrics_sink`` is a live aggregation target for operational
+    telemetry: every finished cell's metric snapshot is merged into it
+    as the cell completes, so a
+    :class:`repro.runtime.telemetry.PeriodicFlusher` watching the sink
+    exports sweep progress at cell granularity instead of only at the
+    end.  ``slow_queries`` rides the per-cell contexts the same way, so
+    retrieval calls inside cells land in one shared slow-query ring.
+    Both are observation-only: results are bit-identical with or without
+    them.
     """
 
     scale: str = "small"
@@ -181,6 +193,8 @@ class ExperimentConfig:
     tracer: "Tracer | None" = None
     precision: str = "float64"
     recompress_tol: float | None = None
+    metrics_sink: "Metrics | None" = None
+    slow_queries: "SlowQueryLog | None" = None
 
     def solver_options(self) -> dict[str, object]:
         """Non-default GSim+ solver knobs, for :func:`run_algorithm`.
@@ -421,6 +435,8 @@ def run_algorithm(
     tracer: "Tracer | NullTracer | None" = None,
     trace_parent=None,
     solver_options: dict[str, object] | None = None,
+    metrics_sink: "Metrics | None" = None,
+    slow_queries: "SlowQueryLog | None" = None,
 ) -> RunRecord:
     """Gate, execute, and measure one experiment cell.
 
@@ -455,6 +471,12 @@ def run_algorithm(
     ``replayed``); ``trace_parent`` stitches it under the submitting
     sweep's root span when cells execute on worker threads.  A
     quarantined cell additionally logs a ``sweep.quarantined`` event.
+
+    ``metrics_sink`` receives the finished cell's metric snapshot via
+    :meth:`Metrics.merge_snapshot` (replayed cells included), so a
+    telemetry flusher watching the sink sees the sweep advance cell by
+    cell; ``slow_queries`` is handed to the cell's execution context so
+    retrieval latencies inside the cell feed one shared slow-query ring.
     """
     memory_budget = memory_budget or MemoryBudget()
     deadline = deadline or Deadline()
@@ -482,6 +504,8 @@ def run_algorithm(
             if replayed is not None:
                 cell_span.set_attribute("replayed", True)
                 cell_span.set_attribute("outcome", replayed.outcome.value)
+                if metrics_sink is not None and replayed.metrics:
+                    metrics_sink.merge_snapshot(replayed.metrics)
                 return replayed
 
         max_attempts = retry_policy.max_attempts if retry_policy is not None else 1
@@ -492,7 +516,7 @@ def run_algorithm(
                     spec, graph_a, graph_b, queries_a, queries_b, iterations,
                     memory_budget, deadline, dataset, params, record_params,
                     track_memory=track_memory, tracer=tracer,
-                    solver_options=solver_options,
+                    solver_options=solver_options, slow_queries=slow_queries,
                 )
             except Exception as exc:
                 if retry_policy is None or not retry_policy.is_transient(exc):
@@ -524,6 +548,8 @@ def run_algorithm(
         cell_span.set_attribute("attempts", record.attempts)
         if journal is not None:
             journal.record(key, record)
+        if metrics_sink is not None and record.metrics:
+            metrics_sink.merge_snapshot(record.metrics)
         return record
 
 
@@ -542,6 +568,7 @@ def _execute_cell(
     track_memory: bool = True,
     tracer: "Tracer | NullTracer | None" = None,
     solver_options: dict[str, object] | None = None,
+    slow_queries: "SlowQueryLog | None" = None,
 ) -> RunRecord:
     """One gated, measured attempt (structured vetoes become records)."""
     solver_options = solver_options or {}
@@ -570,7 +597,8 @@ def _execute_cell(
 
     stopwatch = Stopwatch()
     context = ExecutionContext(
-        deadline=deadline.arm(), memory=memory_budget.ledger(), tracer=tracer
+        deadline=deadline.arm(), memory=memory_budget.ledger(), tracer=tracer,
+        slow_queries=slow_queries,
     )
     tracker: MemoryTracker | None = None
     try:
@@ -695,6 +723,8 @@ def run_cells(
                 tracer=tracer,
                 trace_parent=root,
                 solver_options=cell_options,
+                metrics_sink=config.metrics_sink,
+                slow_queries=config.slow_queries,
             )
 
         return pool.map(_run, tasks, what="sweep cells")

@@ -146,6 +146,8 @@ def run_spec(
     retry_policy: "RetryPolicy | None" = None,
     max_workers: int = 1,
     tracer: "Tracer | None" = None,
+    metrics_sink=None,
+    slow_queries=None,
 ) -> list[RunRecord]:
     """Expand and execute a spec; returns one record per cell.
 
@@ -157,7 +159,9 @@ def run_spec(
     replayed, the rest executed and persisted immediately);
     ``retry_policy`` retries transient per-cell failures and quarantines
     cells that keep failing; ``max_workers > 1`` executes independent
-    cells concurrently; ``tracer`` records per-cell spans (see
+    cells concurrently; ``tracer`` records per-cell spans, and
+    ``metrics_sink`` / ``slow_queries`` thread operational telemetry
+    through the cells (see
     :class:`repro.experiments.runner.ExperimentConfig`).
     """
     config = ExperimentConfig(
@@ -172,6 +176,8 @@ def run_spec(
         tracer=tracer,
         precision=spec.precision,
         recompress_tol=spec.recompress_tol,
+        metrics_sink=metrics_sink,
+        slow_queries=slow_queries,
     )
     tasks: list[CellTask] = []
     for dataset in spec.datasets:

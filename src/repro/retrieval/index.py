@@ -304,20 +304,40 @@ class GSimIndex:
         With a context, each call records one ``index.query`` span (the
         result-cell count as an attribute) and its latency in the
         ``index.query_seconds`` histogram — the per-query p50/p99 any
-        serving deployment steers by.
+        serving deployment steers by — plus ``index.query.requests`` /
+        ``index.query.errors`` counters (the error-rate SLO inputs).  A
+        call above the latency threshold of an attached
+        :class:`repro.runtime.telemetry.SlowQueryLog` additionally lands
+        in the slow-query ring with its cell count, factor width, and
+        trace span id.
         """
         tracer = context.tracer if context is not None else NULL_TRACER
         start = time.perf_counter()
+        failed = False
+        span = None
         try:
             with tracer.span("index.query") as span:
                 block = self._engine.query(queries_a, queries_b, context=context)
                 span.set_attribute("cells", int(block.size))
                 return block
+        except BaseException:
+            failed = True
+            raise
         finally:
             if context is not None:
-                context.metrics.observe_histogram(
-                    "index.query_seconds", time.perf_counter() - start
-                )
+                duration = time.perf_counter() - start
+                context.metrics.observe_histogram("index.query_seconds", duration)
+                context.metrics.increment("index.query.requests")
+                if failed:
+                    context.metrics.increment("index.query.errors")
+                if context.slow_queries is not None:
+                    context.slow_queries.maybe_record(
+                        "index.query",
+                        duration,
+                        width=self._factors.width,
+                        span_id=getattr(span, "span_id", None),
+                        error=failed,
+                    )
 
     def top_matches(
         self, node_a: int, k: int = 10, context: ExecutionContext | None = None
@@ -352,14 +372,33 @@ class GSimIndex:
             max_workers = 1  # historical "0 means serial" tolerance
         pool = WorkerPool.resolve(max_workers)
         tracer = context.tracer if context is not None else NULL_TRACER
+        start = time.perf_counter()
         with tracer.span("index.query_many") as span:
             span.set_attribute("requests", len(request_list))
-            return pool.map(
-                lambda request: self.query(request[0], request[1], context=context),
-                request_list,
-                context=context,
-                what="index query blocks",
-            )
+            try:
+                return pool.map(
+                    lambda request: self.query(
+                        request[0], request[1], context=context
+                    ),
+                    request_list,
+                    context=context,
+                    what="index query blocks",
+                )
+            finally:
+                if context is not None:
+                    duration = time.perf_counter() - start
+                    context.metrics.observe_histogram(
+                        "index.query_many_seconds", duration
+                    )
+                    if context.slow_queries is not None:
+                        context.slow_queries.maybe_record(
+                            "index.query_many",
+                            duration,
+                            requests=len(request_list),
+                            workers=pool.max_workers,
+                            width=self._factors.width,
+                            span_id=getattr(span, "span_id", None),
+                        )
 
     def top_pairs(
         self,
@@ -375,16 +414,34 @@ class GSimIndex:
         result is identical for every ``block_rows`` and ``max_workers``.
         """
         tracer = context.tracer if context is not None else NULL_TRACER
+        start = time.perf_counter()
         with tracer.span("index.top_pairs") as span:
             span.set_attribute("k", k)
-            return scan_top_pairs(
-                self._factors,
-                k,
-                block_rows=block_rows,
-                context=context,
-                max_workers=max_workers,
-                score_scale=1.0 / self._engine.global_norm,
-            )
+            try:
+                return scan_top_pairs(
+                    self._factors,
+                    k,
+                    block_rows=block_rows,
+                    context=context,
+                    max_workers=max_workers,
+                    score_scale=1.0 / self._engine.global_norm,
+                )
+            finally:
+                if context is not None:
+                    duration = time.perf_counter() - start
+                    context.metrics.observe_histogram(
+                        "index.top_pairs_seconds", duration
+                    )
+                    if context.slow_queries is not None:
+                        context.slow_queries.maybe_record(
+                            "index.top_pairs",
+                            duration,
+                            k=int(k),
+                            block_rows=int(block_rows),
+                            workers=WorkerPool.resolve(max_workers).max_workers,
+                            width=self._factors.width,
+                            span_id=getattr(span, "span_id", None),
+                        )
 
     def __repr__(self) -> str:
         return (

@@ -60,6 +60,18 @@ from repro.runtime.resilience import (
     atomic_write,
     content_checksum,
 )
+from repro.runtime.telemetry import (
+    MetricsExporter,
+    PeriodicFlusher,
+    ResourceMonitor,
+    SLObjective,
+    SLOReport,
+    SLOTracker,
+    SlowQuery,
+    SlowQueryLog,
+    TelemetrySession,
+    render_slo_report,
+)
 
 __all__ = [
     "BudgetExceeded",
@@ -78,10 +90,19 @@ __all__ = [
     "MemoryBudgetExceeded",
     "MemoryLedger",
     "Metrics",
+    "MetricsExporter",
     "NULL_TRACER",
     "NullTracer",
+    "PeriodicFlusher",
+    "ResourceMonitor",
     "RetryPolicy",
+    "SLObjective",
+    "SLOReport",
+    "SLOTracker",
+    "SlowQuery",
+    "SlowQueryLog",
     "Span",
+    "TelemetrySession",
     "TimerReading",
     "Tracer",
     "TransientError",
@@ -90,6 +111,7 @@ __all__ = [
     "atomic_write",
     "content_checksum",
     "histogram_bucket_bounds",
+    "render_slo_report",
     "render_trace_summary",
     "shard_ranges",
     "shard_rows_by_nnz",

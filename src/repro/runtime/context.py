@@ -92,6 +92,13 @@ class ExecutionContext:
         per query); when omitted it defaults to the shared
         :data:`repro.runtime.trace.NULL_TRACER`, whose no-op spans keep
         the untraced path allocation-free.
+    slow_queries:
+        An optional :class:`repro.runtime.telemetry.SlowQueryLog`.
+        Retrieval entry points (``GSimIndex.query``/``query_many``/
+        ``top_pairs``, the top-k scans, batch blocks) report their
+        latency to it; calls above its threshold land in the bounded
+        ring as structured records.  ``None`` (the default) costs one
+        ``is None`` check per call.
 
     Examples
     --------
@@ -109,6 +116,7 @@ class ExecutionContext:
         "metrics",
         "fault_injector",
         "tracer",
+        "slow_queries",
     )
 
     def __init__(
@@ -119,6 +127,7 @@ class ExecutionContext:
         metrics: Metrics | None = None,
         fault_injector: "Any | None" = None,
         tracer: "Tracer | NullTracer | None" = None,
+        slow_queries: "Any | None" = None,
     ) -> None:
         self.deadline = deadline
         self.memory = memory
@@ -126,6 +135,7 @@ class ExecutionContext:
         self.metrics = metrics if metrics is not None else Metrics()
         self.fault_injector = fault_injector
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.slow_queries = slow_queries
 
     @classmethod
     def start(
@@ -136,6 +146,7 @@ class ExecutionContext:
         metrics: Metrics | None = None,
         fault_injector: "Any | None" = None,
         tracer: "Tracer | NullTracer | None" = None,
+        slow_queries: "Any | None" = None,
     ) -> "ExecutionContext":
         """Arm a context from plain limits (the common construction)."""
         deadline = (
@@ -155,6 +166,7 @@ class ExecutionContext:
             metrics=metrics,
             fault_injector=fault_injector,
             tracer=tracer,
+            slow_queries=slow_queries,
         )
 
     # ------------------------------------------------------------------

@@ -269,12 +269,24 @@ class Metrics:
         underflow/overflow buckets — for values in seconds that covers
         microsecond queries to multi-hour builds at ~33% bucket
         resolution.  Count, sum, min and max are tracked exactly.
+
+        Non-finite (NaN/±inf) and non-positive observations have no home
+        in a log-spaced layout; rather than silently misbucketing them
+        (NaN into overflow, negatives into underflow) they are rejected
+        and counted under the ``<name>.invalid_observations`` counter, so
+        a buggy instrument shows up in the export instead of skewing the
+        percentiles.
         """
+        value = float(value)
         with self._lock:
+            if not math.isfinite(value) or value <= 0.0:
+                counter = f"{name}.invalid_observations"
+                self._counters[counter] = self._counters.get(counter, 0.0) + 1.0
+                return
             histogram = self._histograms.get(name)
             if histogram is None:
                 histogram = self._histograms[name] = _Histogram()
-            histogram.add(float(value))
+            histogram.add(value)
 
     @contextmanager
     def time_histogram(self, name: str) -> Iterator[None]:
