@@ -53,7 +53,9 @@ def main() -> None:
         while len(new_edges) < per_batch:
             src = int(rng.integers(source_graph.num_nodes))
             dst = int(rng.integers(source_graph.num_nodes))
-            if src != dst:
+            # Skip edges that already exist: DynamicGraph rejects exact
+            # duplicates as self-inconsistent mutations.
+            if src != dst and not source_graph.has_edge(src, dst):
                 new_edges.add((src, dst))
         source_graph.add_edges(sorted(new_edges))
         # A few queries land between batches; only the first recomputes.

@@ -6,14 +6,44 @@ similarity services face the same need: graphs change, and similarity
 state must stay consistent with them.
 
 * :class:`repro.dynamic.graph.DynamicGraph` — a mutable edge set with
-  cheap batched updates and snapshotting to the immutable
-  :class:`repro.graphs.Graph` the solvers consume.
+  cheap batched updates, mutation validation, change subscriptions, and
+  snapshotting to the immutable :class:`repro.graphs.Graph` the solvers
+  consume.
+* :mod:`repro.dynamic.lifecycle` — versioned, immutable index
+  generations with background rebuilds (retry/backoff, checkpointed
+  crash-resume, circuit breaker) installed by zero-downtime atomic
+  swaps.
 * :class:`repro.dynamic.session.SimilaritySession` — version-tracked
-  GSim+ state over a pair of dynamic graphs: factors are recomputed
-  lazily on first query after a change and reused until the next one.
+  GSim+ state over a pair of dynamic graphs, served from the lifecycle
+  manager under a ``block`` / ``serve_stale`` / ``shed`` policy.
 """
 
 from repro.dynamic.graph import DynamicGraph
-from repro.dynamic.session import SimilaritySession
+from repro.dynamic.lifecycle import (
+    POLICIES,
+    CircuitBreaker,
+    GenerationLease,
+    IndexGeneration,
+    IndexGenerationManager,
+    Staleness,
+    StalenessBudget,
+    check_policy,
+    generation_fingerprint,
+)
+from repro.dynamic.session import AnnotatedBlock, SessionStats, SimilaritySession
 
-__all__ = ["DynamicGraph", "SimilaritySession"]
+__all__ = [
+    "POLICIES",
+    "AnnotatedBlock",
+    "CircuitBreaker",
+    "DynamicGraph",
+    "GenerationLease",
+    "IndexGeneration",
+    "IndexGenerationManager",
+    "SessionStats",
+    "SimilaritySession",
+    "Staleness",
+    "StalenessBudget",
+    "check_policy",
+    "generation_fingerprint",
+]

@@ -3,15 +3,34 @@
 ``DynamicGraph`` keeps edges in a dict (``(src, dst) -> weight``) so
 inserts/deletes are O(1), and materialises an immutable
 :class:`repro.graphs.Graph` snapshot on demand.  A monotonically
-increasing ``version`` lets downstream caches (the similarity session)
-detect staleness without comparing edge sets.
+increasing ``version`` lets downstream caches (the similarity session,
+the index-generation manager) detect staleness without comparing edge
+sets, and a cumulative ``edges_changed`` clock counts actual edge
+mutations so staleness budgets can bound accumulated drift rather than
+just version lag.
+
+The graph is safe to mutate from a writer thread while a background
+rebuild snapshots it: every mutator and :meth:`snapshot`/:meth:`freeze`
+run under one re-entrant lock, and :meth:`freeze` captures the snapshot
+together with the version/edge clocks atomically so a build can never be
+labelled with a version it does not actually contain.
+
+Self-inconsistent mutations are rejected early with clear errors — an
+exact-duplicate ``add_edge`` (same endpoints *and* weight), a
+``remove_edge`` on a missing edge, an out-of-range node, a zero weight —
+and counted in :attr:`DynamicGraph.rejected_mutations` (mirrored into a
+``graph.rejected_mutations`` metrics counter when a sink is attached)
+instead of silently corrupting later CSR rebuilds.  Re-weighting an
+existing edge remains a legitimate update.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+import threading
+from typing import Callable, Iterable, Iterator
 
 from repro.graphs.graph import Graph
+from repro.runtime.metrics import Metrics
 from repro.utils.validation import check_nonnegative_integer
 
 __all__ = ["DynamicGraph"]
@@ -19,6 +38,16 @@ __all__ = ["DynamicGraph"]
 
 class DynamicGraph:
     """A mutable directed graph over nodes ``0 .. num_nodes-1``.
+
+    Parameters
+    ----------
+    num_nodes:
+        Initial node count.
+    edges:
+        Optional ``(src, dst)`` or ``(src, dst, weight)`` seed edges.
+    metrics:
+        Optional :class:`repro.runtime.Metrics` sink; rejected mutations
+        are counted there under ``graph.rejected_mutations``.
 
     Examples
     --------
@@ -30,17 +59,25 @@ class DynamicGraph:
     >>> g.remove_edge(0, 1)
     >>> g.snapshot().num_edges
     1
+    >>> g.edges_changed
+    3
     """
 
     def __init__(
         self,
         num_nodes: int,
         edges: Iterable[tuple[int, int]] | Iterable[tuple[int, int, float]] = (),
+        metrics: Metrics | None = None,
     ) -> None:
         self._num_nodes = check_nonnegative_integer(num_nodes, "num_nodes")
         self._edges: dict[tuple[int, int], float] = {}
         self._version = 0
+        self._edges_changed = 0
+        self._rejected = 0
         self._snapshot: Graph | None = None
+        self._metrics = metrics
+        self._lock = threading.RLock()
+        self._subscribers: list[Callable[["DynamicGraph"], None]] = []
         for edge in edges:
             if len(edge) == 2:
                 src, dst = edge  # type: ignore[misc]
@@ -53,35 +90,81 @@ class DynamicGraph:
     # Mutation
     # ------------------------------------------------------------------
     def add_edge(self, src: int, dst: int, weight: float = 1.0) -> None:
-        """Insert (or overwrite) the edge ``src -> dst``."""
-        self._check_node(src)
-        self._check_node(dst)
-        if weight == 0.0:
-            raise ValueError("edge weight must be non-zero; use remove_edge")
-        self._edges[(src, dst)] = float(weight)
-        self._bump()
+        """Insert the edge ``src -> dst`` (or update its weight).
+
+        An exact duplicate — the edge already exists *with the same
+        weight* — is rejected with ``ValueError``: it signals a confused
+        writer (double-applied event, replayed stream) rather than a
+        legitimate update, and silently absorbing it would desynchronise
+        the caller's idea of the mutation stream from the graph's.
+        """
+        with self._lock:
+            self._check_node(src)
+            self._check_node(dst)
+            weight = float(weight)
+            if weight == 0.0:
+                self._reject()
+                raise ValueError("edge weight must be non-zero; use remove_edge")
+            existing = self._edges.get((src, dst))
+            if existing == weight:
+                self._reject()
+                raise ValueError(
+                    f"duplicate add_edge({src}, {dst}, weight={weight}): the "
+                    "edge already exists with this weight; use a different "
+                    "weight to update it or remove_edge to delete it"
+                )
+            self._edges[(src, dst)] = weight
+            self._bump(edges_changed=1)
+        self._notify()
 
     def remove_edge(self, src: int, dst: int) -> None:
         """Delete the edge ``src -> dst``; KeyError if absent."""
-        try:
-            del self._edges[(src, dst)]
-        except KeyError:
-            raise KeyError(f"edge ({src}, {dst}) does not exist") from None
-        self._bump()
+        with self._lock:
+            try:
+                del self._edges[(src, dst)]
+            except KeyError:
+                self._reject()
+                raise KeyError(f"edge ({src}, {dst}) does not exist") from None
+            self._bump(edges_changed=1)
+        self._notify()
 
     def add_edges(self, edges: Iterable[tuple[int, int]]) -> None:
-        """Batch insert; one version bump for the whole batch."""
-        for src, dst in edges:
-            self._check_node(src)
-            self._check_node(dst)
-            self._edges[(int(src), int(dst))] = 1.0
-        self._bump()
+        """Batch insert; one version bump for the whole batch.
+
+        The batch is validated in full before any edge is applied, so a
+        rejected batch (out-of-range node, exact duplicate against the
+        current graph or within the batch itself) leaves the graph
+        untouched rather than half-applied.
+        """
+        batch = [(int(src), int(dst)) for src, dst in edges]
+        with self._lock:
+            seen: set[tuple[int, int]] = set()
+            for src, dst in batch:
+                self._check_node(src)
+                self._check_node(dst)
+                if self._edges.get((src, dst)) == 1.0 or (src, dst) in seen:
+                    self._reject()
+                    raise ValueError(
+                        f"duplicate edge ({src}, {dst}) in add_edges batch; "
+                        "the batch was rejected whole and the graph is "
+                        "unchanged"
+                    )
+                seen.add((src, dst))
+            if not batch:
+                return
+            for src, dst in batch:
+                self._edges[(src, dst)] = 1.0
+            self._bump(edges_changed=len(batch))
+        self._notify()
 
     def add_node(self) -> int:
         """Append one node; returns its id."""
-        self._num_nodes += 1
-        self._bump()
-        return self._num_nodes - 1
+        with self._lock:
+            self._num_nodes += 1
+            self._bump(edges_changed=0)
+            new = self._num_nodes - 1
+        self._notify()
+        return new
 
     # ------------------------------------------------------------------
     # Inspection
@@ -101,14 +184,54 @@ class DynamicGraph:
         """Monotone counter, bumped on every mutation."""
         return self._version
 
+    @property
+    def edges_changed(self) -> int:
+        """Cumulative count of edge mutations ever applied.
+
+        Unlike :attr:`version` (one bump per mutation *call*), this
+        counts individual edge changes — a 40-edge batch advances it by
+        40 — so staleness budgets can bound real structural drift.
+        """
+        return self._edges_changed
+
+    @property
+    def rejected_mutations(self) -> int:
+        """How many self-inconsistent mutations were rejected."""
+        return self._rejected
+
     def has_edge(self, src: int, dst: int) -> bool:
         """Whether the edge currently exists."""
         return (src, dst) in self._edges
 
     def edges(self) -> Iterator[tuple[int, int, float]]:
         """Iterate current ``(src, dst, weight)`` triples (sorted)."""
-        for (src, dst), weight in sorted(self._edges.items()):
+        with self._lock:
+            items = sorted(self._edges.items())
+        for (src, dst), weight in items:
             yield src, dst, weight
+
+    # ------------------------------------------------------------------
+    # Change notification
+    # ------------------------------------------------------------------
+    def subscribe(self, callback: Callable[["DynamicGraph"], None]) -> None:
+        """Register ``callback(graph)`` to fire after every mutation.
+
+        Callbacks run outside the graph's lock (so a subscriber may
+        freely read the graph or take its own locks) in registration
+        order.  The index-generation manager subscribes here to mark its
+        live generation stale and enqueue a background rebuild at write
+        time rather than first-query time.
+        """
+        with self._lock:
+            self._subscribers.append(callback)
+
+    def unsubscribe(self, callback: Callable[["DynamicGraph"], None]) -> None:
+        """Remove a subscriber registered with :meth:`subscribe`."""
+        with self._lock:
+            try:
+                self._subscribers.remove(callback)
+            except ValueError:
+                pass
 
     # ------------------------------------------------------------------
     # Snapshotting
@@ -116,18 +239,44 @@ class DynamicGraph:
     def snapshot(self, name: str = "dynamic") -> Graph:
         """An immutable :class:`Graph` of the current state (cached until
         the next mutation)."""
-        if self._snapshot is None:
-            self._snapshot = Graph.from_edges(
-                self._num_nodes, list(self.edges()), name=f"{name}-v{self._version}"
-            )
-        return self._snapshot
+        with self._lock:
+            if self._snapshot is None:
+                self._snapshot = Graph.from_edges(
+                    self._num_nodes,
+                    list(self.edges()),
+                    name=f"{name}-v{self._version}",
+                )
+            return self._snapshot
 
-    def _bump(self) -> None:
+    def freeze(self, name: str = "dynamic") -> tuple[Graph, int, int]:
+        """Atomically capture ``(snapshot, version, edges_changed)``.
+
+        A background rebuild must label the generation it produces with
+        the graph state it actually consumed; taking the snapshot and
+        reading the clocks in two steps would race a concurrent writer.
+        """
+        with self._lock:
+            return self.snapshot(name=name), self._version, self._edges_changed
+
+    def _bump(self, edges_changed: int = 1) -> None:
         self._version += 1
+        self._edges_changed += edges_changed
         self._snapshot = None
+
+    def _reject(self) -> None:
+        self._rejected += 1
+        if self._metrics is not None:
+            self._metrics.increment("graph.rejected_mutations")
+
+    def _notify(self) -> None:
+        with self._lock:
+            subscribers = list(self._subscribers)
+        for callback in subscribers:
+            callback(self)
 
     def _check_node(self, node: int) -> None:
         if not (0 <= node < self._num_nodes):
+            self._reject()
             raise IndexError(
                 f"node {node} out of range for {self._num_nodes} nodes"
             )

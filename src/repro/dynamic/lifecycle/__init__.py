@@ -1,0 +1,48 @@
+"""Live-index lifecycle: versioned generations, zero-downtime swaps.
+
+The billion-scale retrieval claim only matters in production if the
+index survives the graphs changing underneath it.  This package turns
+the dynamic layer's recompute-on-write into a serving-grade lifecycle:
+
+* :mod:`repro.dynamic.lifecycle.generation` — immutable, fingerprinted
+  :class:`IndexGeneration` objects with reader-count draining, handed to
+  queries as :class:`GenerationLease` context managers;
+* :mod:`repro.dynamic.lifecycle.policy` — :class:`StalenessBudget`
+  (version lag / wall-clock age / edge delta, calibratable against the
+  Theorem 4.2 error bound), the ``block`` / ``serve_stale`` / ``shed``
+  serving policies, and the rebuild :class:`CircuitBreaker`;
+* :mod:`repro.dynamic.lifecycle.manager` —
+  :class:`IndexGenerationManager`, which runs background rebuilds with
+  retry/backoff under checkpointed execution contexts and installs the
+  results by atomic pointer flips.
+
+``repro.dynamic.SimilaritySession`` is built on this manager; use the
+manager directly when serving :class:`repro.retrieval.index.GSimIndex`
+generations from your own front end.
+"""
+
+from repro.dynamic.lifecycle.generation import (
+    GenerationLease,
+    IndexGeneration,
+    generation_fingerprint,
+)
+from repro.dynamic.lifecycle.manager import IndexGenerationManager
+from repro.dynamic.lifecycle.policy import (
+    POLICIES,
+    CircuitBreaker,
+    Staleness,
+    StalenessBudget,
+    check_policy,
+)
+
+__all__ = [
+    "POLICIES",
+    "CircuitBreaker",
+    "GenerationLease",
+    "IndexGeneration",
+    "IndexGenerationManager",
+    "Staleness",
+    "StalenessBudget",
+    "check_policy",
+    "generation_fingerprint",
+]

@@ -1,0 +1,326 @@
+"""Serving policies for live index generations.
+
+Three small, independently testable pieces decide what a query is
+allowed to see while the graphs evolve underneath the index:
+
+* :class:`Staleness` — how far a generation lags the live graphs, in
+  three currencies at once (version lag, wall-clock age, accumulated
+  edge delta);
+* :class:`StalenessBudget` — per-query admission of a stale generation:
+  serve it while every configured bound holds, otherwise escalate to the
+  caller's policy (wait or shed).  :meth:`StalenessBudget.from_error_bound`
+  ties the edge-delta bound to the Theorem 4.2 truncation error, so
+  "acceptably stale" means "the drift is plausibly inside the error the
+  caller already accepted by truncating at K iterations";
+* :class:`CircuitBreaker` — closed → open → half-open → closed over
+  repeated rebuild failures, so a persistently failing rebuild pins the
+  last-good generation instead of burning the background worker on a
+  hopeless loop.
+
+The three serving policies themselves are plain strings (``"block"``,
+``"serve_stale"``, ``"shed"``) validated by :func:`check_policy`; the
+decision procedure that combines them with a budget and a breaker lives
+in :class:`repro.dynamic.lifecycle.manager.IndexGenerationManager`.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.graphs.graph import Graph
+
+__all__ = [
+    "POLICIES",
+    "CircuitBreaker",
+    "Staleness",
+    "StalenessBudget",
+    "check_policy",
+]
+
+#: The serving policies a query may request.
+#:
+#: ``block``       — only fresh answers; wait (deadline-capped) for the
+#:                   background rebuild, shed on timeout.
+#: ``serve_stale`` — answer immediately from the last-good generation
+#:                   while it is within the staleness budget (or the
+#:                   circuit breaker has pinned it); fall back to a
+#:                   deadline-capped wait once the budget is exhausted.
+#: ``shed``        — never wait: answer from a fresh or within-budget
+#:                   generation, otherwise raise ``IndexUnavailableError``
+#:                   immediately (admission control for latency-critical
+#:                   callers).
+POLICIES = ("block", "serve_stale", "shed")
+
+
+def check_policy(policy: str) -> str:
+    """Validate a serving-policy name."""
+    if policy not in POLICIES:
+        raise ValueError(
+            f"unknown serving policy {policy!r}; expected one of {POLICIES}"
+        )
+    return policy
+
+
+@dataclass(frozen=True)
+class Staleness:
+    """How far a generation lags the live graphs.
+
+    Attributes
+    ----------
+    version_lag:
+        Sum of the two graphs' version-counter deltas since the
+        generation was built (``inf`` when no generation exists).
+    age_seconds:
+        Wall-clock seconds since the generation was installed.
+    edge_delta:
+        Accumulated count of edge mutations (inserts + deletes +
+        weight changes) applied to either graph since the build.
+    """
+
+    version_lag: float
+    age_seconds: float
+    edge_delta: float
+
+    @property
+    def fresh(self) -> bool:
+        """Whether the generation matches the graphs exactly."""
+        return self.version_lag == 0
+
+    def to_dict(self) -> dict:
+        """A JSON-friendly rendering (used in result annotations)."""
+        return {
+            "version_lag": self.version_lag,
+            "age_seconds": self.age_seconds,
+            "edge_delta": self.edge_delta,
+            "fresh": self.fresh,
+        }
+
+
+#: Staleness of "no generation exists at all" — fails every budget.
+MISSING = Staleness(
+    version_lag=math.inf, age_seconds=math.inf, edge_delta=math.inf
+)
+
+
+@dataclass(frozen=True)
+class StalenessBudget:
+    """Bounds under which a stale generation may still be served.
+
+    Every bound is optional; ``None`` means unbounded in that currency.
+    A generation is *within budget* when **all** configured bounds hold.
+    The default budget is unbounded — serve-stale callers accept any
+    lag unless they say otherwise.
+
+    Examples
+    --------
+    >>> budget = StalenessBudget(max_version_lag=4)
+    >>> budget.allows(Staleness(version_lag=3, age_seconds=9.0, edge_delta=3))
+    True
+    >>> budget.allows(Staleness(version_lag=5, age_seconds=0.1, edge_delta=5))
+    False
+    """
+
+    max_version_lag: int | None = None
+    max_age_seconds: float | None = None
+    max_edge_delta: int | None = None
+
+    def __post_init__(self) -> None:
+        for name in ("max_version_lag", "max_age_seconds", "max_edge_delta"):
+            value = getattr(self, name)
+            if value is not None and value < 0:
+                raise ValueError(f"{name} must be non-negative, got {value}")
+
+    def allows(self, staleness: Staleness) -> bool:
+        """Whether a generation this stale may still be served."""
+        if staleness.fresh:
+            return True
+        if (
+            self.max_version_lag is not None
+            and staleness.version_lag > self.max_version_lag
+        ):
+            return False
+        if (
+            self.max_age_seconds is not None
+            and staleness.age_seconds > self.max_age_seconds
+        ):
+            return False
+        if (
+            self.max_edge_delta is not None
+            and staleness.edge_delta > self.max_edge_delta
+        ):
+            return False
+        return True
+
+    @classmethod
+    def from_error_bound(
+        cls,
+        graph_a: Graph,
+        graph_b: Graph,
+        iterations: int,
+        slack: float = 1.0,
+        max_age_seconds: float | None = None,
+    ) -> "StalenessBudget":
+        """An edge-delta budget tied to the Theorem 4.2 truncation bound.
+
+        The caller already accepted a relative similarity error of
+        ``eps = (|λ2|/|λ1|)^K · C`` (Theorem 4.2) by truncating at ``K``
+        iterations.  A single edge flip perturbs the normalised adjacency
+        pair by ``O(1/m)`` in Frobenius norm (``m`` total edges), so the
+        accumulated drift of ``Δ`` mutations stays plausibly inside that
+        accepted error while ``Δ ≲ eps · m``.  ``slack`` scales the
+        resulting bound (use ``< 1`` to be conservative); at least one
+        mutation is always allowed so the budget is usable on graph
+        pairs where the bound is extremely tight.
+
+        This is a heuristic calibration, not a guarantee — the bound
+        controls iteration truncation, not structural perturbation — but
+        it gives the budget a principled scale instead of a magic number.
+        """
+        from repro.core.error_bound import error_bound
+
+        if slack <= 0:
+            raise ValueError(f"slack must be positive, got {slack}")
+        eps = error_bound(graph_a, graph_b, iterations)
+        total_edges = graph_a.num_edges + graph_b.num_edges
+        max_delta = max(1, int(slack * eps * total_edges))
+        return cls(max_edge_delta=max_delta, max_age_seconds=max_age_seconds)
+
+
+class CircuitBreaker:
+    """Closed → open → half-open failure gating for background rebuilds.
+
+    * **closed** — rebuild attempts are allowed; ``failure_threshold``
+      consecutive failures trip the breaker **open**.
+    * **open** — attempts are refused (the last-good generation is
+      pinned) until ``reset_timeout`` seconds have passed, after which
+      the breaker moves to **half-open**.
+    * **half-open** — exactly one probe attempt is allowed; success
+      closes the breaker, failure re-opens it (and restarts the
+      timeout).
+
+    Thread-safe; ``clock`` is injectable so transition tests do not
+    sleep.  ``on_transition(old_state, new_state)`` fires under no lock
+    ordering guarantees beyond "after the transition is visible" — the
+    lifecycle manager uses it to emit telemetry events.
+
+    Examples
+    --------
+    >>> breaker = CircuitBreaker(failure_threshold=2, reset_timeout=60.0)
+    >>> breaker.record_failure(); breaker.record_failure()
+    >>> breaker.state
+    'open'
+    >>> breaker.allow_attempt()
+    False
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        reset_timeout: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+        on_transition: Callable[[str, str], None] | None = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if reset_timeout < 0:
+            raise ValueError(
+                f"reset_timeout must be non-negative, got {reset_timeout}"
+            )
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = float(reset_timeout)
+        self._clock = clock
+        self._on_transition = on_transition
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._consecutive_failures = 0
+        self._opened_at: float | None = None
+        self._probing = False
+
+    @property
+    def state(self) -> str:
+        """``"closed"``, ``"open"``, or ``"half_open"`` (time-aware)."""
+        with self._lock:
+            self._maybe_half_open_locked()
+            return self._state
+
+    @property
+    def consecutive_failures(self) -> int:
+        """Failures since the last success."""
+        with self._lock:
+            return self._consecutive_failures
+
+    def allow_attempt(self) -> bool:
+        """Whether a rebuild attempt may start now.
+
+        In the half-open state this hands out exactly one probe: the
+        first caller gets ``True``, later callers ``False`` until the
+        probe reports success or failure.
+        """
+        with self._lock:
+            self._maybe_half_open_locked()
+            if self._state == "closed":
+                return True
+            if self._state == "half_open" and not self._probing:
+                self._probing = True
+                return True
+            return False
+
+    def seconds_until_probe(self) -> float:
+        """How long until the open breaker will admit a probe (0 when
+        an attempt is already allowed)."""
+        with self._lock:
+            self._maybe_half_open_locked()
+            if self._state != "open":
+                return 0.0
+            assert self._opened_at is not None
+            remaining = self.reset_timeout - (self._clock() - self._opened_at)
+            return max(0.0, remaining)
+
+    def record_success(self) -> None:
+        """An attempt succeeded: close the breaker."""
+        with self._lock:
+            self._consecutive_failures = 0
+            self._probing = False
+            self._transition_locked("closed")
+
+    def record_failure(self) -> None:
+        """An attempt failed: count it; trip open past the threshold."""
+        with self._lock:
+            self._maybe_half_open_locked()
+            self._consecutive_failures += 1
+            self._probing = False
+            if (
+                self._state == "half_open"
+                or self._consecutive_failures >= self.failure_threshold
+            ):
+                self._opened_at = self._clock()
+                self._transition_locked("open")
+
+    # ------------------------------------------------------------------
+    def _maybe_half_open_locked(self) -> None:
+        if (
+            self._state == "open"
+            and self._opened_at is not None
+            and self._clock() - self._opened_at >= self.reset_timeout
+        ):
+            self._transition_locked("half_open")
+
+    def _transition_locked(self, new_state: str) -> None:
+        old_state = self._state
+        if old_state == new_state:
+            return
+        self._state = new_state
+        if self._on_transition is not None:
+            self._on_transition(old_state, new_state)
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitBreaker(state={self.state!r}, "
+            f"failures={self._consecutive_failures}/{self.failure_threshold})"
+        )

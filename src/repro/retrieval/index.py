@@ -98,6 +98,7 @@ class GSimIndex:
         resume_from: CheckpointManager | str | Path | None = None,
         recompress_tol: float | None = None,
         precision: str = "float64",
+        max_workers: int | None = None,
     ) -> "GSimIndex":
         """Iterate GSim+ (QR-compressed cap, so the result stays factored)
         and wrap the final factors.
@@ -116,7 +117,8 @@ class GSimIndex:
         ``checkpoints`` / ``checkpoint_every`` / ``resume_from`` forward
         to :meth:`GSimPlus.iterate`, so an interrupted multi-hour build
         restarts at its last snapshotted iteration instead of from
-        scratch.
+        scratch.  ``max_workers`` forwards to the solver's worker pool
+        (row-sharded SpMM; results are bit-identical at every count).
         """
         iterations = check_positive_integer(iterations, "iterations")
         if context is None:
@@ -128,6 +130,7 @@ class GSimIndex:
             initial_factors=initial_factors,
             recompress_tol=recompress_tol,
             precision=precision,
+            max_workers=max_workers,
         )
         state = None
         with context.metrics.time("index.build"), context.tracer.span(
@@ -283,6 +286,16 @@ class GSimIndex:
     def metadata(self) -> IndexMetadata:
         """How this index was built."""
         return self._metadata
+
+    @property
+    def factors(self) -> LowRankFactors:
+        """The served factor pair (immutable; shared, not copied).
+
+        Exposed for layers that compose indexes rather than querying
+        them one block at a time — the live-index lifecycle fingerprints
+        and leases whole generations through this.
+        """
+        return self._factors
 
     @property
     def shape(self) -> tuple[int, int]:

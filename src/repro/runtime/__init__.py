@@ -33,6 +33,7 @@ from repro.runtime.errors import (
     Cancelled,
     CorruptArtifactError,
     DeadlineExceeded,
+    IndexUnavailableError,
     InjectedFault,
     MemoryBudgetExceeded,
     TransientError,
@@ -85,6 +86,7 @@ __all__ = [
     "ExecutionContext",
     "FaultInjector",
     "HISTOGRAM_BUCKETS",
+    "IndexUnavailableError",
     "InjectedFault",
     "MemoryBudget",
     "MemoryBudgetExceeded",
