@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast bench bench-all bench-compression bench-gate figures accuracy examples all-checks
+.PHONY: install test test-fast bench bench-all bench-compression bench-scale bench-scale-gate bench-gate figures accuracy examples all-checks
 
 # Pin BLAS thread pools so benchmark numbers isolate the worker-pool
 # sharding from library-internal threading (see docs/usage.md).
@@ -20,8 +20,14 @@ BENCH_GATE_OUT ?= results/BENCH_gate_candidate.json
 
 # Default tolerance bands: worker-scaling entries oversubscribe small
 # CI hosts and jitter 2-3x run-to-run, so they get a wide band; the
-# algorithmic benchmarks keep the gate's +50% default.
-BENCH_GATE_BANDS ?= --band '*_workers*=3.0'
+# process-backend entries add fork/IPC jitter on top; the algorithmic
+# benchmarks keep the gate's +50% default.
+BENCH_GATE_BANDS ?= --band '*_workers*=3.0' --band '*_process*=3.0'
+
+# Where `make bench-scale` writes the thread-vs-process timing and the
+# in-memory-vs-mmap RSS comparison (committed baseline for the gate).
+BENCH_SCALE_OUT ?= results/BENCH_scale.json
+BENCH_SCALE_GATE_OUT ?= results/BENCH_scale_candidate.json
 
 # Where `make bench-compression` writes the exact-vs-compressed
 # accuracy/speed curves (committed next to the core bench artifact).
@@ -50,6 +56,18 @@ bench-all:
 bench-compression:
 	mkdir -p $(dir $(BENCH_COMPRESSION_OUT))
 	$(BENCH_ENV) $(PYTHON) benchmarks/compression_sweep.py $(BENCH_COMPRESSION_OUT)
+
+bench-scale:
+	mkdir -p $(dir $(BENCH_SCALE_OUT))
+	$(BENCH_ENV) $(PYTHON) benchmarks/bench_scale.py $(BENCH_SCALE_OUT)
+
+# Compare a fresh scale run against the committed baseline with the
+# wide worker/process bands (see scripts/bench_gate.py --help).
+bench-scale-gate:
+	$(MAKE) bench-scale BENCH_SCALE_OUT=$(BENCH_SCALE_GATE_OUT)
+	$(PYTHON) scripts/bench_gate.py \
+		--baseline results/BENCH_scale.json --candidate $(BENCH_SCALE_GATE_OUT) \
+		$(BENCH_GATE_BANDS)
 
 # CI perf-regression gate: run the core benchmarks fresh, compare
 # against the committed baseline with tolerance bands (exit 1 on a

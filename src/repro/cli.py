@@ -238,6 +238,15 @@ def _build_parser() -> argparse.ArgumentParser:
             "sweep cells (default: 1 — fully serial; results are "
             "identical for every N)",
         )
+        sub.add_argument(
+            "--backend",
+            choices=("thread", "process"),
+            default="thread",
+            help="worker backend for the sharded kernels: 'thread' "
+            "(default) shares memory, 'process' ships (path, row-range) "
+            "shard descriptors to pool processes — GIL-free compute for "
+            "mmap-converted graphs; results are bit-identical either way",
+        )
 
     for name, (_, _, _, description) in _FIGURES.items():
         sub = subparsers.add_parser(name, help=f"Figure {name[3:]}: {description}")
@@ -297,6 +306,38 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     datasets.add_argument("--seed", type=int, default=7)
     _add_metrics(datasets)
+    datasets_sub = datasets.add_subparsers(
+        dest="datasets_command", required=False,
+        metavar="{convert}",
+    )
+    convert = datasets_sub.add_parser(
+        "convert",
+        help="convert an edge-list file into an out-of-core mmap-CSR "
+        "artifact directory (atomic, checksummed, crash-resumable)",
+    )
+    convert.add_argument("edge_list", help="edge-list file (src dst [weight])")
+    convert.add_argument("out_dir", help="artifact directory to create")
+    convert_mode = convert.add_mutually_exclusive_group()
+    convert_mode.add_argument(
+        "--strict", dest="mode", action="store_const", const="strict",
+        help="raise on any malformed line (default)",
+    )
+    convert_mode.add_argument(
+        "--lenient", dest="mode", action="store_const", const="lenient",
+        help="skip malformed lines with one counted warning",
+    )
+    convert.set_defaults(mode="strict")
+    convert.add_argument(
+        "--comment", default="#", metavar="PREFIX",
+        help="comment-line prefix (default: '#')",
+    )
+    convert.add_argument(
+        "--name", default=None, help="graph name recorded in the manifest"
+    )
+    convert.add_argument(
+        "--no-resume", action="store_true",
+        help="discard any partial progress instead of resuming it",
+    )
 
     sim = subparsers.add_parser(
         "sim", help="compute GSim+ similarities between two edge-list files"
@@ -321,6 +362,14 @@ def _build_parser() -> argparse.ArgumentParser:
     sim.add_argument(
         "--relabel", action="store_true",
         help="accept arbitrary node tokens (relabelled to 0..n-1)",
+    )
+    sim.add_argument(
+        "--mmap-dir", default=None, metavar="DIR",
+        help="operate out-of-core: convert each edge list into an "
+        "mmap-CSR artifact under DIR (reused on later runs; a graph "
+        "argument that already names an artifact directory is mapped "
+        "directly) and compute from the memory maps; incompatible with "
+        "--relabel (streaming conversion needs integer node ids)",
     )
     sim.add_argument(
         "--output", default=None, help="write the block as CSV to this path"
@@ -614,6 +663,7 @@ def _run_figure(
         journal=journal,
         retry_policy=retry_policy,
         max_workers=getattr(args, "workers", 1),
+        backend=getattr(args, "backend", "thread"),
         tracer=tracer,
         precision=getattr(args, "precision", "float64"),
         recompress_tol=getattr(args, "recompress_tol", None),
@@ -885,6 +935,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             pairs = top_k_pairs(
                 graph_a, graph_b, args.top, iterations=iterations,
                 context=context, max_workers=args.workers,
+                backend=args.backend,
                 precision=args.precision, recompress_tol=args.recompress_tol,
             )
         except BaseException as exc:
@@ -926,8 +977,28 @@ def main(argv: Sequence[str] | None = None) -> int:
             else None
         )
 
-        graph_a = read_edge_list(args.graph_a, relabel=args.relabel)
-        graph_b = read_edge_list(args.graph_b, relabel=args.relabel)
+        if args.mmap_dir is not None and args.relabel:
+            print(
+                "error: --mmap-dir is incompatible with --relabel "
+                "(streaming conversion needs integer node ids)",
+                file=sys.stderr,
+            )
+            return 2
+
+        def _load_graph(source: str) -> "object":
+            if args.mmap_dir is None:
+                return read_edge_list(source, relabel=args.relabel)
+            from pathlib import Path
+
+            from repro.graphs import MmapCSRGraph, convert_edge_list
+
+            path = Path(source)
+            if (path / "manifest.json").exists():
+                return MmapCSRGraph(path)
+            return convert_edge_list(path, Path(args.mmap_dir) / path.stem)
+
+        graph_a = _load_graph(args.graph_a)
+        graph_b = _load_graph(args.graph_b)
         print(f"G_A = {graph_a}")
         print(f"G_B = {graph_b}")
         tracer = _make_tracer(args)
@@ -944,6 +1015,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                 return top_k_pairs(
                     graph_a, graph_b, args.top, iterations=args.iterations,
                     context=context, max_workers=args.workers,
+                    backend=args.backend,
                     precision=args.precision,
                     recompress_tol=args.recompress_tol,
                 )
@@ -980,6 +1052,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                 checkpoints=checkpoints,
                 resume_from=resume_from,
                 max_workers=args.workers,
+                backend=args.backend,
                 precision=args.precision,
                 recompress_tol=args.recompress_tol,
             )
@@ -1069,6 +1142,31 @@ def main(argv: Sequence[str] | None = None) -> int:
             _merged_record_metrics(records) if args.metrics else None,
         ))
     if args.command == "datasets":
+        if getattr(args, "datasets_command", None) == "convert":
+            from pathlib import Path
+
+            from repro.graphs import convert_edge_list
+
+            out_dir = Path(args.out_dir)
+            graph = convert_edge_list(
+                Path(args.edge_list),
+                out_dir,
+                mode=args.mode,
+                comment=args.comment,
+                name=args.name,
+                resume=not args.no_resume,
+            )
+            on_disk = sum(
+                item.stat().st_size for item in out_dir.iterdir()
+                if item.is_file()
+            )
+            print(f"converted {args.edge_list} -> {out_dir}")
+            print(
+                f"  {graph.name}: {graph.num_nodes:,} nodes, "
+                f"{graph.num_edges:,} edges, {on_disk:,} bytes on disk "
+                f"({graph.resident_bytes():,} resident)"
+            )
+            return 0
         from repro.experiments.report import render_table
         from repro.graphs import DATASETS, degree_statistics, load_dataset
         from repro.runtime import Metrics

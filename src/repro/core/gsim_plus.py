@@ -75,6 +75,9 @@ every downstream score.
 
 from __future__ import annotations
 
+import math
+import os
+import tempfile
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Iterator
@@ -85,10 +88,11 @@ import scipy.sparse as sp
 from repro.core.embeddings import LowRankFactors, TruncationInfo
 from repro.graphs.graph import Graph
 from repro.runtime import ExecutionContext
+from repro.runtime import procpool
 from repro.runtime.parallel import WorkerPool, shard_rows_by_nnz
 from repro.runtime.resilience import Checkpoint, CheckpointManager
 from repro.runtime.trace import NULL_TRACER
-from repro.utils.memory import dense_matrix_bytes
+from repro.utils.memory import dense_matrix_bytes, resident_estimate
 from repro.utils.validation import check_nonnegative_integer, resolve_node_index
 
 __all__ = ["DEFAULT_RECOMPRESS_TOL", "GSimPlus", "GSimPlusResult", "gsim_plus"]
@@ -211,6 +215,20 @@ class GSimPlus:
         into one preallocated output.  Row sharding never reorders any
         per-row accumulation, so results are **bit-identical** to the
         serial path for every worker count.
+    backend:
+        ``"thread"`` (default) or ``"process"``.  The process backend
+        runs the same row shards in pool *processes*, shipping operands
+        as (path, row-range) descriptors (:mod:`repro.runtime.procpool`)
+        instead of pickled arrays: mmap-backed graphs
+        (:class:`repro.graphs.mmap_csr.MmapCSRGraph`) hand their on-disk
+        CSR arrays straight to the workers, in-memory operands are
+        spilled once per solver into a scratch directory, and per-step
+        factor outputs live in shared scratch memmaps the ledger charges
+        at their *resident* (not virtual) size.  Same kernels, same
+        shard splits, same per-row accumulation order — results stay
+        bit-identical to the thread and serial paths.  Ignored when
+        ``max_workers`` is already a :class:`WorkerPool` (its own
+        backend wins).
 
     Examples
     --------
@@ -234,6 +252,7 @@ class GSimPlus:
         recompress_tol: float | None = None,
         precision: str = "float64",
         max_workers: "WorkerPool | int | None" = None,
+        backend: str = "thread",
     ) -> None:
         if rank_cap not in _RANK_CAP_MODES:
             raise ValueError(
@@ -278,13 +297,27 @@ class GSimPlus:
         self.recompress_tol = (
             None if recompress_tol is None else float(recompress_tol)
         )
-        self._pool = WorkerPool.resolve(max_workers)
+        self._pool = WorkerPool.resolve(max_workers, backend=backend)
         # name -> list[(start, stop, csr row slice)], built on first
         # parallel step and reused every iteration thereafter.
         self._shard_cache: dict[str, list[tuple[int, int, sp.csr_matrix]]] = {}
         self._dense_shards: (
             list[tuple[int, int, sp.csr_matrix, sp.csr_matrix]] | None
         ) = None
+        # Process-backend state: the source graphs (for direct mmap-CSR
+        # descriptors), the lazy scratch directory, the per-operand
+        # descriptor cache, the row-range caches (process shards ship
+        # ranges, not slices), and the previous step's factor mappings
+        # (so step k+1 reads step k's output file instead of respilling).
+        self._graph_a = graph_a
+        self._graph_b = graph_b
+        self._scratch: tempfile.TemporaryDirectory | None = None
+        self._operand_refs: dict[str, procpool.CsrRef] = {}
+        self._range_cache: dict[str, list[tuple[int, int]]] = {}
+        self._dense_ranges: list[tuple[int, int]] | None = None
+        self._proc_prev: list[tuple[np.ndarray, procpool.ArrayRef]] = []
+        self._proc_unlink: list[str] = []
+        self._step_counter = 0
         self._initial = self._resolve_initial(initial_factors)
 
     def _resolve_initial(
@@ -377,6 +410,217 @@ class GSimPlus:
         if context is not None:
             context.metrics.increment("gsim_plus.shard_cache_hits", names)
 
+    # ------------------------------------------------------------------
+    # Process-backend plumbing (descriptors instead of shared memory)
+    # ------------------------------------------------------------------
+    def _scratch_dir(self) -> Path:
+        """Lazy per-solver scratch directory for spilled operands and
+        step outputs; removed with the solver (TemporaryDirectory GC)."""
+        if self._scratch is None:
+            self._scratch = tempfile.TemporaryDirectory(prefix="gsimplus-proc-")
+        return Path(self._scratch.name)
+
+    def _operand_ref(self, name: str) -> procpool.CsrRef:
+        """Shard descriptor of one CSR operand, built once per solver.
+
+        An mmap-CSR graph at the solver's dtype hands out its on-disk
+        arrays directly (nothing is copied or written); any other
+        operand is spilled to scratch ``.npy`` files exactly once.
+        """
+        ref = self._operand_refs.get(name)
+        if ref is not None:
+            return ref
+        graph = self._graph_a if name in ("a", "a_t") else self._graph_b
+        direct = getattr(graph, "csr_ref", None)
+        if direct is not None and self._dtype == np.float64:
+            ref = direct("adj_t" if name.endswith("_t") else "adj")
+        else:
+            matrix = {
+                "a": self._a, "a_t": self._a_t, "b": self._b, "b_t": self._b_t
+            }[name]
+            ref = procpool.spill_csr(matrix, self._scratch_dir(), f"op_{name}")
+        self._operand_refs[name] = ref
+        return ref
+
+    def _ranges(self, name: str) -> list[tuple[int, int]]:
+        """Cached nnz-balanced row ranges of one operand (the process
+        twin of :meth:`_shards` — descriptors ship ranges, not slices)."""
+        cached = self._range_cache.get(name)
+        if cached is not None:
+            return cached
+        matrix = {"a": self._a, "a_t": self._a_t, "b": self._b, "b_t": self._b_t}[name]
+        ranges = shard_rows_by_nnz(matrix.indptr, self._pool.max_workers)
+        self._range_cache[name] = ranges
+        return ranges
+
+    def _dense_pair_ranges(self) -> list[tuple[int, int]]:
+        cached = self._dense_ranges
+        if cached is None:
+            combined = np.asarray(self._a.indptr, dtype=np.int64) + np.asarray(
+                self._a_t.indptr, dtype=np.int64
+            )
+            cached = shard_rows_by_nnz(combined, self._pool.max_workers)
+            self._dense_ranges = cached
+        return cached
+
+    def _dense_input_ref(self, array: np.ndarray, stem: str) -> procpool.ArrayRef:
+        """Descriptor for a dense step input: the previous step's output
+        mapping is referenced in place; anything else is spilled."""
+        for prev_array, prev_ref in self._proc_prev:
+            if array is prev_array or array.base is prev_array:
+                return prev_ref
+        path = self._scratch_dir() / f"{stem}_{self._step_counter}.npy"
+        self._proc_unlink.append(str(path))
+        return procpool.spill_array(array, path)
+
+    def _drain_unlink(self, keep: list[str]) -> None:
+        """Remove scratch files from finished generations.
+
+        Linux keeps an unlinked file's pages alive for every open
+        mapping, so arrays still referencing a removed file stay valid;
+        the disk footprint is bounded at two factor generations.
+        """
+        for path in self._proc_unlink:
+            if path not in keep:
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+        self._proc_unlink = [p for p in self._proc_unlink if p in keep]
+
+    def _step_factors_process(
+        self, factors: LowRankFactors, context: ExecutionContext | None
+    ) -> LowRankFactors:
+        """The Eq.(8)/(9) doubling step on the process pool.
+
+        Inputs and outputs are scratch memmaps; each worker computes
+        ``out[start:stop, off:off+w] = M[start:stop] @ dense`` from
+        descriptors (:func:`repro.runtime.procpool.spmm_shard_task`) —
+        the same kernel, shard splits, and per-row accumulation order as
+        the thread path, so the result is bit-identical.  Healing and
+        rescaling happen *in place* on the shared mapping (the in-place
+        divide performs the identical float ops as ``rescaled()``'s
+        out-of-place divide), keeping the new factors file-backed and
+        spillable.
+        """
+        self._step_counter += 1
+        k = self._step_counter
+        width = factors.width
+        scratch = self._scratch_dir()
+        u_in = self._dense_input_ref(factors.u, "fac_in_u")
+        v_in = self._dense_input_ref(factors.v, "fac_in_v")
+        new_u, u_ref = procpool.create_output(
+            scratch / f"fac_u_{k}.npy", (self.n_a, 2 * width), factors.dtype
+        )
+        new_v, v_ref = procpool.create_output(
+            scratch / f"fac_v_{k}.npy", (self.n_b, 2 * width), factors.dtype
+        )
+        tasks = []
+        for name, dense_ref, out_ref in (
+            ("a", u_in, u_ref),
+            ("a_t", u_in, u_ref),
+            ("b", v_in, v_ref),
+            ("b_t", v_in, v_ref),
+        ):
+            offset = width if name.endswith("_t") else 0
+            operand = self._operand_ref(name)
+            for start, stop in self._ranges(name):
+                tasks.append(
+                    (operand, start, stop, dense_ref, out_ref, offset, width)
+                )
+        self._count_shard_cache(context, 2)
+        self._pool.map(
+            procpool.spmm_shard_task, tasks, context=context,
+            what="GSim+ SpMM shards",
+        )
+        if context is not None:
+            context.metrics.increment("gsim_plus.transpose_cache_hits", 2)
+        if self.numeric_guard:
+            self._healed(new_u, context)
+            self._healed(new_v, context)
+        max_u = float(np.abs(new_u).max(initial=0.0))
+        max_v = float(np.abs(new_v).max(initial=0.0))
+        if max_u == 0.0 or max_v == 0.0:
+            # Degenerate iterate; delegate to the (copying) generic path.
+            return LowRankFactors(new_u, new_v, factors.log_scale).rescaled()
+        new_u /= max_u
+        new_v /= max_v
+        new_u.flush()
+        new_v.flush()
+        result = LowRankFactors(
+            new_u,
+            new_v,
+            factors.log_scale + math.log(max_u) + math.log(max_v),
+        )
+        self._proc_prev = [(result.u, u_ref), (result.v, v_ref)]
+        self._proc_unlink.extend([u_ref.path, v_ref.path])
+        self._drain_unlink(keep=[u_ref.path, v_ref.path])
+        return result
+
+    def _step_dense_process(
+        self, z: np.ndarray, context: ExecutionContext | None
+    ) -> np.ndarray:
+        """``A Z B^T + A^T Z B`` on the process pool — the descriptor twin
+        of :meth:`_step_dense_sharded`, with the three dense temporaries
+        (``P``, ``Q``, the update) living in scratch memmaps the workers
+        write through shared mappings."""
+        self._step_counter += 1
+        k = self._step_counter
+        scratch = self._scratch_dir()
+        z_t = np.ascontiguousarray(z.T)
+        zt_path = scratch / f"dense_zt_{k}.npy"
+        zt_ref = procpool.spill_array(z_t, zt_path)
+        p, p_ref = procpool.create_output(
+            scratch / f"dense_p_{k}.npy", (self.n_a, self.n_b), z.dtype
+        )
+        q, q_ref = procpool.create_output(
+            scratch / f"dense_q_{k}.npy", (self.n_a, self.n_b), z.dtype
+        )
+        stage1 = [
+            (self._operand_ref("b"), start, stop, zt_ref, p_ref)
+            for start, stop in self._ranges("b")
+        ] + [
+            (self._operand_ref("b_t"), start, stop, zt_ref, q_ref)
+            for start, stop in self._ranges("b_t")
+        ]
+        self._count_shard_cache(context, 2)
+        self._pool.map(
+            procpool.spmm_transposed_shard_task, stage1, context=context,
+            what="GSim+ dense stage 1",
+        )
+        updated, out_ref = procpool.create_output(
+            scratch / f"dense_out_{k}.npy", (self.n_a, self.n_b), z.dtype
+        )
+        a_ref, a_t_ref = self._operand_ref("a"), self._operand_ref("a_t")
+        stage2 = [
+            (a_ref, a_t_ref, start, stop, p_ref, q_ref, out_ref)
+            for start, stop in self._dense_pair_ranges()
+        ]
+        self._count_shard_cache(context, 1)
+        self._pool.map(
+            procpool.spmm_pair_sum_task, stage2, context=context,
+            what="GSim+ dense stage 2",
+        )
+        # The caller renormalises out-of-place (`updated / norm` -> heap
+        # array), so every scratch file of this step can go immediately;
+        # the open mappings keep the pages alive until then.
+        for path in (zt_path, p_ref.path, q_ref.path, out_ref.path):
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+        return updated
+
+    def _dense_fallback_charge(self) -> int:
+        """Ledger charge for the dense rank-cap working set: the iterate
+        plus one update temporary.  On the process backend the temporary
+        is a spillable scratch memmap, charged at its bounded resident
+        estimate rather than its virtual size."""
+        each = dense_matrix_bytes(self.n_a, self.n_b, self._dtype.itemsize)
+        if self._pool.process_parallel:
+            return each + resident_estimate(each)
+        return 2 * each
+
     def _spmm_pair_into(
         self,
         name: str,
@@ -421,6 +665,8 @@ class GSimPlus:
         ``(n, 2w)`` output (no ``np.hstack`` re-copy), row-sharded across
         the worker pool when one is configured.
         """
+        if self._pool.process_parallel:
+            return self._step_factors_process(factors, context)
         width = factors.width
         new_u = np.empty((self.n_a, 2 * width), dtype=factors.dtype)
         new_v = np.empty((self.n_b, 2 * width), dtype=factors.dtype)
@@ -497,6 +743,8 @@ class GSimPlus:
         # Z B^T = (B Z^T)^T and Z B = (B^T Z^T)^T.
         if self._pool.serial:
             updated = self._a @ (self._b @ z.T).T + self._a_t @ (self._b_t @ z.T).T
+        elif self._pool.process_parallel:
+            updated = self._step_dense_process(z, context)
         else:
             updated = self._step_dense_sharded(z, context)
         if context is not None:
@@ -714,13 +962,11 @@ class GSimPlus:
         try:
             if context is not None:
                 if factors is not None:
-                    _account(factors.nbytes, "GSim+ initial factors")
+                    _account(factors.resident_nbytes, "GSim+ initial factors")
                     context.metrics.observe("gsim_plus.width", factors.width)
                 else:
                     _account(
-                        2 * dense_matrix_bytes(
-                            self.n_a, self.n_b, self._dtype.itemsize
-                        ),
+                        self._dense_fallback_charge(),
                         "GSim+ dense rank-cap fallback (resumed)",
                     )
                 context.metrics.observe("gsim_plus.bytes_held", charged)
@@ -742,9 +988,7 @@ class GSimPlus:
                             # one same-sized update temporary per step.
                             if context is not None:
                                 _account(
-                                    2 * dense_matrix_bytes(
-                                        self.n_a, self.n_b, self._dtype.itemsize
-                                    ),
+                                    self._dense_fallback_charge(),
                                     "GSim+ dense rank-cap fallback",
                                 )
                             tracer.event(
@@ -780,7 +1024,8 @@ class GSimPlus:
                                 factors = factors.compressed()
                             if context is not None:
                                 _account(
-                                    factors.nbytes, f"GSim+ factors (k={k})"
+                                    factors.resident_nbytes,
+                                    f"GSim+ factors (k={k})",
                                 )
                     span.set_attribute(
                         "width",
@@ -987,6 +1232,7 @@ def gsim_plus(
     max_workers: "WorkerPool | int | None" = None,
     recompress_tol: float | None = None,
     precision: str = "float64",
+    backend: str = "thread",
 ) -> GSimPlusResult:
     """Functional wrapper over :class:`GSimPlus` (Algorithm 1).
 
@@ -1017,6 +1263,7 @@ def gsim_plus(
         max_workers=max_workers,
         recompress_tol=recompress_tol,
         precision=precision,
+        backend=backend,
     )
     return solver.run(
         iterations,

@@ -31,8 +31,10 @@ Entry points:
 
 from __future__ import annotations
 
+import tempfile
 import time
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
@@ -40,6 +42,7 @@ from repro.core.embeddings import LowRankFactors
 from repro.core.gsim_plus import GSimPlus
 from repro.graphs.graph import Graph
 from repro.runtime import ExecutionContext
+from repro.runtime import procpool
 from repro.runtime.parallel import WorkerPool, shard_ranges
 from repro.runtime.trace import NULL_TRACER
 from repro.utils.memory import dense_matrix_bytes
@@ -65,6 +68,7 @@ def _factors_for(
     max_workers: "WorkerPool | int | None" = None,
     recompress_tol: float | None = None,
     precision: str = "float64",
+    backend: str = "thread",
 ) -> LowRankFactors:
     """Run GSim+ and return the final factors (factored regime enforced).
 
@@ -80,6 +84,7 @@ def _factors_for(
         max_workers=max_workers,
         recompress_tol=recompress_tol,
         precision=precision,
+        backend=backend,
     )
     state = None
     for state in solver.iterate(iterations, context=context):
@@ -179,6 +184,39 @@ def _scan_range(
     return best_scores, best_rows, best_cols
 
 
+# ----------------------------------------------------------------------
+# Process-pool worker tasks (module level: picklable under fork and spawn).
+# Inputs arrive as (path, range) descriptors; only the k-best survivors —
+# a few hundred bytes — travel back through pickle.
+# ----------------------------------------------------------------------
+def _scan_pairs_task(
+    task: "tuple[procpool.ArrayRef, procpool.ArrayRef, int, int, int, int]",
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """One contiguous row range of the pair scan, in a pool process —
+    the identical :func:`_scan_range` kernel the thread path runs."""
+    u_ref, v_t_ref, start, stop, k, block_rows = task
+    u = procpool.load_ref(u_ref)
+    v_t = procpool.load_ref(v_t_ref)
+    return _scan_range(u, v_t, start, stop, k, block_rows, None)
+
+
+def _scan_queries_task(
+    task: "tuple[procpool.ArrayRef, procpool.ArrayRef, procpool.ArrayRef, int, int, int]",
+) -> list[tuple[int, np.ndarray, np.ndarray]]:
+    """One query chunk of the per-query scan, in a pool process."""
+    u_ref, v_t_ref, rows_ref, start, stop, k = task
+    u = procpool.load_ref(u_ref)
+    v_t = procpool.load_ref(v_t_ref)
+    rows = procpool.load_ref(rows_ref)
+    chunk = rows[start:stop]
+    block = u[chunk] @ v_t
+    out = []
+    for i, node_a in enumerate(chunk):
+        order = _row_top_k(block[i], k)
+        out.append((int(node_a), order, block[i, order]))
+    return out
+
+
 def scan_top_pairs(
     factors: LowRankFactors,
     k: int,
@@ -186,6 +224,7 @@ def scan_top_pairs(
     context: ExecutionContext | None = None,
     max_workers: "WorkerPool | int | None" = None,
     score_scale: float = 1.0,
+    backend: str = "thread",
 ) -> list[ScoredPair]:
     """The ``k`` best pairs of a prebuilt factor pair.
 
@@ -201,7 +240,7 @@ def scan_top_pairs(
     block_rows = check_positive_integer(block_rows, "block_rows")
     n_a, n_b = factors.shape
     k = min(k, n_a * n_b)
-    pool = WorkerPool.resolve(max_workers)
+    pool = WorkerPool.resolve(max_workers, backend=backend)
     v_t = np.ascontiguousarray(factors.v.T)
     u = factors.u
     tracer = context.tracer if context is not None else NULL_TRACER
@@ -210,18 +249,38 @@ def scan_top_pairs(
         start, stop = bounds
         return _scan_range(u, v_t, start, stop, k, block_rows, context)
 
+    def _map_ranges() -> list[tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        bounds = shard_ranges(n_a, pool.max_workers)
+        if not pool.process_parallel:
+            return pool.map(
+                _scan, bounds, context=context, what="top-k pair scan"
+            )
+        # Process backend: spill the two factor operands once, ship
+        # (descriptor, row range) tasks, get back only each range's
+        # k-best candidates.  Same kernel and canonical merge order, so
+        # the result is bit-identical to the thread and serial scans.
+        with tempfile.TemporaryDirectory(prefix="gsimplus-topk-") as scratch:
+            u_ref = procpool.spill_array(u, Path(scratch) / "u.npy")
+            v_t_ref = procpool.spill_array(v_t, Path(scratch) / "v_t.npy")
+            tasks = [
+                (u_ref, v_t_ref, start, stop, k, block_rows)
+                for start, stop in bounds
+            ]
+            if context is not None:
+                context.metrics.increment(
+                    "topk.rows_scanned", n_a
+                )
+            return pool.map(
+                _scan_pairs_task, tasks, context=context, what="top-k pair scan"
+            )
+
     start_time = time.perf_counter()
     with tracer.span("topk.scan_pairs") as span:
         span.set_attribute("k", k)
         span.set_attribute("rows", n_a)
         span.set_attribute("cols", n_b)
         try:
-            parts = pool.map(
-                _scan,
-                shard_ranges(n_a, pool.max_workers),
-                context=context,
-                what="top-k pair scan",
-            )
+            parts = _map_ranges()
             if not parts:
                 return []
             scores = np.concatenate([part[0] for part in parts])
@@ -259,6 +318,7 @@ def top_k_pairs(
     max_workers: "WorkerPool | int | None" = None,
     recompress_tol: float | None = None,
     precision: str = "float64",
+    backend: str = "thread",
 ) -> list[ScoredPair]:
     """The ``k`` highest-similarity cross-graph pairs.
 
@@ -288,6 +348,7 @@ def top_k_pairs(
         max_workers=max_workers,
         recompress_tol=recompress_tol,
         precision=precision,
+        backend=backend,
     )
     norm = factors.frobenius_norm(include_scale=False)
     if norm == 0.0:
@@ -299,6 +360,7 @@ def top_k_pairs(
         context=context,
         max_workers=max_workers,
         score_scale=1.0 / norm,
+        backend=backend,
     )
 
 
@@ -313,6 +375,7 @@ def top_k_for_queries(
     max_workers: "WorkerPool | int | None" = None,
     recompress_tol: float | None = None,
     precision: str = "float64",
+    backend: str = "thread",
 ) -> dict[int, list[ScoredPair]]:
     """For each query node of ``G_A``, its ``k`` best matches in ``G_B``.
 
@@ -332,6 +395,7 @@ def top_k_for_queries(
         max_workers=max_workers,
         recompress_tol=recompress_tol,
         precision=precision,
+        backend=backend,
     )
     rows = resolve_node_index(
         queries_a, factors.shape[0], "queries_a",
@@ -342,7 +406,7 @@ def top_k_for_queries(
     norm = factors.frobenius_norm(include_scale=False)
     if norm == 0.0:
         raise ZeroDivisionError("similarity collapsed to zero; no ranking exists")
-    pool = WorkerPool.resolve(max_workers)
+    pool = WorkerPool.resolve(max_workers, backend=backend)
     v_t = np.ascontiguousarray(factors.v.T)
     u = factors.u
 
@@ -375,15 +439,33 @@ def top_k_for_queries(
         (start, min(start + block_rows, rows.size))
         for start in range(0, rows.size, block_rows)
     ]
+    def _map_chunks() -> list[list[tuple[int, np.ndarray, np.ndarray]]]:
+        if not (pool.process_parallel and chunk_bounds):
+            return pool.map(
+                _scan_chunk, chunk_bounds, context=context, what="top-k query scan"
+            )
+        with tempfile.TemporaryDirectory(prefix="gsimplus-topk-") as scratch:
+            u_ref = procpool.spill_array(u, Path(scratch) / "u.npy")
+            v_t_ref = procpool.spill_array(v_t, Path(scratch) / "v_t.npy")
+            rows_ref = procpool.spill_array(rows, Path(scratch) / "rows.npy")
+            tasks = [
+                (u_ref, v_t_ref, rows_ref, start, stop, k)
+                for start, stop in chunk_bounds
+            ]
+            if context is not None:
+                context.metrics.increment("topk.rows_scanned", int(rows.size))
+            return pool.map(
+                _scan_queries_task, tasks, context=context,
+                what="top-k query scan",
+            )
+
     tracer = context.tracer if context is not None else NULL_TRACER
     start_time = time.perf_counter()
     with tracer.span("topk.query_scan") as span:
         span.set_attribute("queries", int(rows.size))
         span.set_attribute("k", k)
         try:
-            parts = pool.map(
-                _scan_chunk, chunk_bounds, context=context, what="top-k query scan"
-            )
+            parts = _map_chunks()
         finally:
             if context is not None:
                 duration = time.perf_counter() - start_time

@@ -32,15 +32,18 @@ from repro.graphs.sampling import (
     random_node_sample,
 )
 from repro.graphs.interop import from_networkx, to_networkx
+from repro.graphs.mmap_csr import MmapCSRGraph, convert_edge_list
 from repro.graphs.streaming import read_edge_list_streaming
 
 __all__ = [
     "DATASETS",
     "DatasetSpec",
     "Graph",
+    "MmapCSRGraph",
     "barabasi_albert_graph",
     "bfs_sample",
     "chung_lu_graph",
+    "convert_edge_list",
     "degree_statistics",
     "directed_block_graph",
     "erdos_renyi_graph",

@@ -99,6 +99,7 @@ class GSimIndex:
         recompress_tol: float | None = None,
         precision: str = "float64",
         max_workers: int | None = None,
+        backend: str = "thread",
     ) -> "GSimIndex":
         """Iterate GSim+ (QR-compressed cap, so the result stays factored)
         and wrap the final factors.
@@ -118,7 +119,11 @@ class GSimIndex:
         to :meth:`GSimPlus.iterate`, so an interrupted multi-hour build
         restarts at its last snapshotted iteration instead of from
         scratch.  ``max_workers`` forwards to the solver's worker pool
-        (row-sharded SpMM; results are bit-identical at every count).
+        (row-sharded SpMM; results are bit-identical at every count) and
+        ``backend`` selects thread or process workers — the process
+        backend ships (path, row-range) shard descriptors, which lets a
+        build over :class:`repro.graphs.mmap_csr.MmapCSRGraph` inputs
+        run GIL-free without copying the graphs anywhere.
         """
         iterations = check_positive_integer(iterations, "iterations")
         if context is None:
@@ -131,6 +136,7 @@ class GSimIndex:
             recompress_tol=recompress_tol,
             precision=precision,
             max_workers=max_workers,
+            backend=backend,
         )
         state = None
         with context.metrics.time("index.build"), context.tracer.span(

@@ -1,0 +1,229 @@
+"""Shard descriptors for the process-pool backend.
+
+Threads share memory; processes do not — and pickling a multi-GB CSR
+slice per shard would erase any win from dodging the GIL.  The process
+backend therefore never ships arrays.  It ships *descriptors*:
+
+* :class:`ArrayRef` — (path, dtype, shape) of an on-disk array.  Workers
+  open it with ``np.load(..., mmap_mode=...)`` (``.npy``) or a raw
+  ``np.memmap`` and the kernel reads straight out of the page cache the
+  parent already warmed — zero copies cross the process boundary.
+* :class:`CsrRef` — three ``ArrayRef``s (indptr / indices / data) plus a
+  shape, reassembled worker-side into a ``scipy.sparse.csr_matrix`` whose
+  buffers are the mapped files.
+
+A task is then ``(refs, row_range, column_offset)`` — a few hundred bytes
+regardless of shard size.  Results travel the same way: the parent
+creates an output ``.npy`` with :func:`numpy.lib.format.open_memmap`,
+workers write their row/column slice through their own shared mapping
+(``MAP_SHARED`` makes the pages visible to the parent immediately), and
+only small candidate arrays (top-k survivors) come back through pickle.
+
+Worker-side, :func:`load_ref` keeps a small LRU of open mappings keyed by
+``(path, inode, size, mtime)`` so a persistent pool re-maps each operand
+once per generation, not once per task.
+
+Bit-identity: a float64 array round-trips through ``.npy`` byte-exactly,
+shard splits are computed once in the parent, and every kernel is the
+same code the thread backend runs — so process results are bit-identical
+to thread and serial results.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = [
+    "ArrayRef",
+    "CsrRef",
+    "create_output",
+    "load_csr_ref",
+    "load_ref",
+    "spill_array",
+    "spill_csr",
+]
+
+
+@dataclass(frozen=True)
+class ArrayRef:
+    """Descriptor of one on-disk array.
+
+    ``dtype``/``shape`` of ``None`` mean the file is ``.npy`` format and
+    self-describing; otherwise the file is a raw little-endian buffer
+    (the layout :mod:`repro.graphs.mmap_csr` artifacts use) opened with
+    ``np.memmap`` directly.
+    """
+
+    path: str
+    dtype: str | None = None
+    shape: tuple[int, ...] | None = None
+    writable: bool = False
+
+    def open(self) -> np.ndarray:
+        """Map the array (no caching; see :func:`load_ref` for the cache)."""
+        mode = "r+" if self.writable else "r"
+        if self.dtype is None:
+            return np.load(self.path, mmap_mode=mode)
+        return np.memmap(
+            self.path, dtype=np.dtype(self.dtype), mode=mode, shape=self.shape
+        )
+
+
+@dataclass(frozen=True)
+class CsrRef:
+    """Descriptor of an on-disk CSR matrix (indptr / indices / data)."""
+
+    indptr: ArrayRef
+    indices: ArrayRef
+    data: ArrayRef
+    shape: tuple[int, int]
+
+
+def _signature(path: str) -> tuple[str, int, int, int]:
+    stat = os.stat(path)
+    return (path, stat.st_ino, stat.st_size, stat.st_mtime_ns)
+
+
+# Per-process mapping cache.  Bounded: scratch files are short-lived and
+# an unbounded cache would pin every generation's pages via open fds.
+_CACHE_CAPACITY = 16
+_mapping_cache: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
+
+
+def load_ref(ref: ArrayRef) -> np.ndarray:
+    """Open ``ref`` through the per-process LRU mapping cache.
+
+    The cache key includes the file's inode/size/mtime, so a scratch path
+    overwritten between task generations is re-mapped instead of served
+    stale.  Never cache-shares writable mappings with read-only requests.
+    """
+    key = (_signature(ref.path), ref.dtype, ref.shape, ref.writable)
+    cached = _mapping_cache.get(key)
+    if cached is not None:
+        _mapping_cache.move_to_end(key)
+        return cached
+    array = ref.open()
+    _mapping_cache[key] = array
+    while len(_mapping_cache) > _CACHE_CAPACITY:
+        _mapping_cache.popitem(last=False)
+    return array
+
+
+def load_csr_ref(ref: CsrRef) -> sp.csr_matrix:
+    """Reassemble a CSR view over the mapped component arrays."""
+    return csr_from_arrays(
+        load_ref(ref.indptr), load_ref(ref.indices), load_ref(ref.data), ref.shape
+    )
+
+
+def csr_from_arrays(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    data: np.ndarray,
+    shape: tuple[int, int],
+) -> sp.csr_matrix:
+    """A ``csr_matrix`` *viewing* the given buffers — scipy's constructor
+    would copy (and try to canonicalise, mutating read-only mappings), so
+    the attributes are assigned directly and the canonical-form flags set
+    by contract: every artifact writer stores sorted, deduplicated rows.
+    """
+    matrix = sp.csr_matrix(shape, dtype=data.dtype)
+    matrix.data = np.asarray(data)
+    matrix.indices = np.asarray(indices)
+    matrix.indptr = np.asarray(indptr)
+    matrix.has_sorted_indices = True
+    matrix.has_canonical_format = True
+    return matrix
+
+
+# ----------------------------------------------------------------------
+# Parent-side spill helpers
+# ----------------------------------------------------------------------
+def spill_array(array: np.ndarray, path: str | Path) -> ArrayRef:
+    """Write ``array`` to ``path`` as ``.npy`` and return its descriptor.
+
+    float64/float32 values round-trip byte-exactly, so a kernel reading
+    the spilled copy is bit-identical to one reading the original.
+    """
+    path = Path(path)
+    np.save(path, np.ascontiguousarray(array))
+    return ArrayRef(path=str(path))
+
+
+def spill_csr(matrix: sp.csr_matrix, directory: str | Path, name: str) -> CsrRef:
+    """Spill one CSR operand into ``directory`` as three ``.npy`` files."""
+    directory = Path(directory)
+    return CsrRef(
+        indptr=spill_array(matrix.indptr, directory / f"{name}.indptr.npy"),
+        indices=spill_array(matrix.indices, directory / f"{name}.indices.npy"),
+        data=spill_array(matrix.data, directory / f"{name}.data.npy"),
+        shape=(int(matrix.shape[0]), int(matrix.shape[1])),
+    )
+
+
+def create_output(
+    path: str | Path, shape: tuple[int, ...], dtype: np.dtype | str
+) -> tuple[np.ndarray, ArrayRef]:
+    """Create a shared writable ``.npy`` output.
+
+    Returns the parent's own mapping (mode ``r+`` — reads see worker
+    writes through the shared page cache) and the writable descriptor to
+    embed in shard tasks.
+    """
+    path = Path(path)
+    mapped = np.lib.format.open_memmap(
+        path, mode="w+", dtype=np.dtype(dtype), shape=shape
+    )
+    return mapped, ArrayRef(path=str(path), writable=True)
+
+
+# ----------------------------------------------------------------------
+# Generic worker kernels (module-level: picklable under fork and spawn)
+# ----------------------------------------------------------------------
+def spmm_shard_task(
+    task: tuple[CsrRef, int, int, ArrayRef, ArrayRef, int, int],
+) -> None:
+    """``out[start:stop, offset:offset+width] = M[start:stop] @ dense``.
+
+    The CSR row slice is built worker-side from the mapped arrays (the
+    slice copy is the same one the thread backend's shard cache makes,
+    just in the worker's address space), so per-row accumulation order —
+    and therefore every output bit — matches the serial product.
+    """
+    csr_ref, start, stop, dense_ref, out_ref, offset, width = task
+    matrix = load_csr_ref(csr_ref)
+    dense = load_ref(dense_ref)
+    out = load_ref(out_ref)
+    out[start:stop, offset : offset + width] = matrix[start:stop] @ dense
+
+
+def spmm_transposed_shard_task(
+    task: tuple[CsrRef, int, int, ArrayRef, ArrayRef],
+) -> None:
+    """``out[:, start:stop] = (M[start:stop] @ dense).T`` — stage 1 of the
+    dense-regime update, writing a column slice of the shared output."""
+    csr_ref, start, stop, dense_ref, out_ref = task
+    matrix = load_csr_ref(csr_ref)
+    dense = load_ref(dense_ref)
+    out = load_ref(out_ref)
+    out[:, start:stop] = (matrix[start:stop] @ dense).T
+
+
+def spmm_pair_sum_task(
+    task: tuple[CsrRef, CsrRef, int, int, ArrayRef, ArrayRef, ArrayRef],
+) -> None:
+    """``out[start:stop] = A[start:stop] @ p + A_t[start:stop] @ q`` —
+    stage 2 of the dense-regime update."""
+    a_ref, a_t_ref, start, stop, p_ref, q_ref, out_ref = task
+    a = load_csr_ref(a_ref)
+    a_t = load_csr_ref(a_t_ref)
+    p = load_ref(p_ref)
+    q = load_ref(q_ref)
+    out = load_ref(out_ref)
+    out[start:stop] = a[start:stop] @ p + a_t[start:stop] @ q
